@@ -1,0 +1,135 @@
+// Figure 4: each RAG configuration knob traces a different quality-delay
+// curve, and the curves differ across query archetypes:
+//   Q1 (simple single-hop), Q2 (joint reasoning, low complexity),
+//   Q3 (joint reasoning, high complexity).
+// Panels: (a) synthesis method sweep, (b) num_chunks 1-35 with stuff,
+// (c) intermediate_length 1-100 with map_reduce.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+
+using namespace metis;
+
+namespace {
+
+struct Archetype {
+  const char* label;
+  std::vector<const RagQuery*> queries;
+};
+
+// Averages isolated quality/delay for a config over an archetype's queries.
+struct Point {
+  double f1 = 0;
+  double delay = 0;
+};
+Point Probe(const Dataset& ds, const Archetype& a, const RagConfig& cfg, uint64_t seed) {
+  Point p;
+  for (const RagQuery* q : a.queries) {
+    RagResult r = RunSingleQuery(ds, *q, cfg, "mistral-7b-v3-awq", seed);
+    p.f1 += r.f1;
+    p.delay += r.exec_delay();
+  }
+  p.f1 /= static_cast<double>(a.queries.size());
+  p.delay /= static_cast<double>(a.queries.size());
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kSeed = 42;
+  auto ds = GetOrGenerateDataset("musique", 200, "cohere-embed-v3-sim", kSeed);
+
+  Archetype q1{"Q1 simple", {}};
+  Archetype q2{"Q2 joint/low", {}};
+  Archetype q3{"Q3 joint/high", {}};
+  for (const RagQuery& q : ds->queries()) {
+    if (!q.requires_joint && !q.high_complexity && q.num_facts == 1 && q1.queries.size() < 25) {
+      q1.queries.push_back(&q);
+    } else if (q.requires_joint && !q.high_complexity && q2.queries.size() < 25) {
+      q2.queries.push_back(&q);
+    } else if (q.requires_joint && q.high_complexity && q3.queries.size() < 25) {
+      q3.queries.push_back(&q);
+    }
+  }
+
+  // --- Panel (a): synthesis method (other knobs fixed: k=6, L=80) ---
+  Table a("Figure 4a: synthesis method vs quality-delay per archetype");
+  a.SetHeader({"archetype", "method", "mean F1", "mean delay (s)"});
+  Point q1_rerank, q1_reduce, q2_rerank, q2_stuff, q3_stuff, q3_reduce;
+  for (const Archetype* arch : {&q1, &q2, &q3}) {
+    for (SynthesisMethod m : {SynthesisMethod::kMapRerank, SynthesisMethod::kStuff,
+                              SynthesisMethod::kMapReduce}) {
+      Point p = Probe(*ds, *arch, RagConfig{m, 6, 80}, kSeed);
+      a.AddRow({arch->label, SynthesisMethodName(m), Table::Num(p.f1, 3),
+                Table::Num(p.delay, 2)});
+      if (arch == &q1 && m == SynthesisMethod::kMapRerank) q1_rerank = p;
+      if (arch == &q1 && m == SynthesisMethod::kMapReduce) q1_reduce = p;
+      if (arch == &q2 && m == SynthesisMethod::kMapRerank) q2_rerank = p;
+      if (arch == &q2 && m == SynthesisMethod::kStuff) q2_stuff = p;
+      if (arch == &q3 && m == SynthesisMethod::kStuff) q3_stuff = p;
+      if (arch == &q3 && m == SynthesisMethod::kMapReduce) q3_reduce = p;
+    }
+  }
+  a.Print();
+  PrintShapeCheck("Q1: map_rerank suffices; joint methods add delay without quality",
+                  StrFormat("rerank F1 %.3f @ %.2fs vs map_reduce F1 %.3f @ %.2fs", q1_rerank.f1,
+                            q1_rerank.delay, q1_reduce.f1, q1_reduce.delay),
+                  q1_rerank.f1 >= q1_reduce.f1 - 0.03 && q1_rerank.delay < q1_reduce.delay);
+  PrintShapeCheck("Q2: cross-chunk methods beat map_rerank by a wide margin (~35%)",
+                  StrFormat("stuff %.3f vs rerank %.3f", q2_stuff.f1, q2_rerank.f1),
+                  q2_stuff.f1 > q2_rerank.f1 + 0.10);
+  PrintShapeCheck("Q3: map_reduce denoising beats stuff on complex queries",
+                  StrFormat("map_reduce %.3f vs stuff %.3f", q3_reduce.f1, q3_stuff.f1),
+                  q3_reduce.f1 >= q3_stuff.f1 - 0.01);
+
+  // --- Panel (b): num_chunks sweep with stuff ---
+  Table b("Figure 4b: num_chunks 1-35 with stuff");
+  b.SetHeader({"k", "Q1 F1", "Q1 delay", "Q2 F1", "Q2 delay", "Q3 F1", "Q3 delay"});
+  double q2_best_f1 = 0, q2_f1_at35 = 0, q2_delay_at1 = 0, q2_delay_at35 = 0;
+  for (int k : {1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 35}) {
+    Point p1 = Probe(*ds, q1, RagConfig{SynthesisMethod::kStuff, k, 80}, kSeed);
+    Point p2 = Probe(*ds, q2, RagConfig{SynthesisMethod::kStuff, k, 80}, kSeed);
+    Point p3 = Probe(*ds, q3, RagConfig{SynthesisMethod::kStuff, k, 80}, kSeed);
+    b.AddRow({StrFormat("%d", k), Table::Num(p1.f1, 3), Table::Num(p1.delay, 2),
+              Table::Num(p2.f1, 3), Table::Num(p2.delay, 2), Table::Num(p3.f1, 3),
+              Table::Num(p3.delay, 2)});
+    q2_best_f1 = std::max(q2_best_f1, p2.f1);
+    if (k == 1) q2_delay_at1 = p2.delay;
+    if (k == 35) {
+      q2_f1_at35 = p2.f1;
+      q2_delay_at35 = p2.delay;
+    }
+  }
+  b.Print();
+  PrintShapeCheck("more chunks help then hurt (quality drops, delay inflates ~3x)",
+                  StrFormat("Q2 peak F1 %.3f vs %.3f at k=35; delay %.2f->%.2fs", q2_best_f1,
+                            q2_f1_at35, q2_delay_at1, q2_delay_at35),
+                  q2_f1_at35 < q2_best_f1 - 0.05 && q2_delay_at35 > 2.5 * q2_delay_at1);
+
+  // --- Panel (c): intermediate_length sweep with map_reduce ---
+  Table c("Figure 4c: intermediate_length 1-100 with map_reduce (k=6)");
+  c.SetHeader({"L", "Q1 F1", "Q1 delay", "Q2 F1", "Q2 delay", "Q3 F1", "Q3 delay"});
+  double q3_f1_at5 = 0, q3_f1_at100 = 0, q1_f1_at20 = 0, q1_f1_at100 = 0;
+  for (int len : {1, 5, 10, 20, 35, 50, 70, 100}) {
+    Point p1 = Probe(*ds, q1, RagConfig{SynthesisMethod::kMapReduce, 6, len}, kSeed);
+    Point p2 = Probe(*ds, q2, RagConfig{SynthesisMethod::kMapReduce, 6, len}, kSeed);
+    Point p3 = Probe(*ds, q3, RagConfig{SynthesisMethod::kMapReduce, 6, len}, kSeed);
+    c.AddRow({StrFormat("%d", len), Table::Num(p1.f1, 3), Table::Num(p1.delay, 2),
+              Table::Num(p2.f1, 3), Table::Num(p2.delay, 2), Table::Num(p3.f1, 3),
+              Table::Num(p3.delay, 2)});
+    if (len == 5) q3_f1_at5 = p3.f1;
+    if (len == 100) q3_f1_at100 = p3.f1;
+    if (len == 20) q1_f1_at20 = p1.f1;
+    if (len == 100) q1_f1_at100 = p1.f1;
+  }
+  c.Print();
+  PrintShapeCheck("complex queries need long intermediates; short ones plateau early",
+                  StrFormat("Q3: %.3f@L=5 -> %.3f@L=100; Q1: %.3f@L=20 vs %.3f@L=100",
+                            q3_f1_at5, q3_f1_at100, q1_f1_at20, q1_f1_at100),
+                  q3_f1_at100 > q3_f1_at5 + 0.08 && q1_f1_at20 >= q1_f1_at100 - 0.05);
+  return 0;
+}

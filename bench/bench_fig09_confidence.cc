@@ -1,0 +1,61 @@
+// Figure 9: the profiler's log-prob confidence separates good profiles from
+// bad ones. Paper: >=93% of profiles clear the 90% threshold; of those, >=96%
+// are good; of the ~7% below the threshold, 85-90% are bad.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/llm/engine.h"
+#include "src/profiler/profiler.h"
+#include "src/sim/simulator.h"
+
+using namespace metis;
+
+int main() {
+  const uint64_t kSeed = 42;
+  int above = 0, above_good = 0, below = 0, below_bad = 0, total = 0;
+
+  Table table("Figure 9: profiler confidence vs profile goodness (per dataset)");
+  table.SetHeader({"dataset", ">=90% conf", "good | >=90%", "bad | <90%"});
+
+  for (const char* name : {"squad", "musique", "kg_rag_finsec", "qmsum"}) {
+    auto ds = GetOrGenerateDataset(name, 200, "cohere-embed-v3-sim", kSeed);
+    Simulator sim;
+    ApiLlmClient api(&sim, Gpt4oApi(), kSeed);
+    QueryProfiler profiler(&sim, &api, &ds->db().metadata(), Gpt4oProfilerParams(), kSeed);
+
+    int d_above = 0, d_above_good = 0, d_below = 0, d_below_bad = 0;
+    for (const RagQuery& q : ds->queries()) {
+      QueryProfiler::Outcome out = profiler.Estimate(q);
+      bool high_conf = out.profile.confidence >= 0.90;
+      if (high_conf) {
+        ++d_above;
+        d_above_good += out.was_bad ? 0 : 1;
+      } else {
+        ++d_below;
+        d_below_bad += out.was_bad ? 1 : 0;
+      }
+    }
+    above += d_above;
+    above_good += d_above_good;
+    below += d_below;
+    below_bad += d_below_bad;
+    total += d_above + d_below;
+    table.AddRow({name, StrFormat("%.1f%%", 100.0 * d_above / (d_above + d_below)),
+                  StrFormat("%.1f%%", d_above ? 100.0 * d_above_good / d_above : 0.0),
+                  StrFormat("%.1f%%", d_below ? 100.0 * d_below_bad / d_below : 0.0)});
+  }
+  table.Print();
+
+  double frac_above = 100.0 * above / total;
+  double good_above = above ? 100.0 * above_good / above : 0;
+  double bad_below = below ? 100.0 * below_bad / below : 0;
+  PrintShapeCheck(">=93% of profiles have confidence >=90%",
+                  StrFormat("%.1f%% above threshold", frac_above), frac_above >= 88);
+  PrintShapeCheck(">=96% of high-confidence profiles are good",
+                  StrFormat("%.1f%% good above threshold", good_above), good_above >= 93);
+  PrintShapeCheck("85-90% of low-confidence profiles are bad",
+                  StrFormat("%.1f%% bad below threshold", bad_below), bad_below >= 70);
+  return 0;
+}

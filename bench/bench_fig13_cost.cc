@@ -1,0 +1,63 @@
+// Figure 13: scaling the *model* instead of adapting the *configuration* is
+// expensive. Fixed-config pipelines on Llama-70B cost ~2.38x and on GPT-4o
+// ~6.8x more dollars than METIS on Mistral-7B (profiler included), while
+// failing to reach its F1.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+
+using namespace metis;
+
+int main() {
+  const uint64_t kSeed = 42;
+  const int kQueries = 150;
+
+  for (const char* name : {"musique", "qmsum"}) {
+    auto ds = GetOrGenerateDataset(name, kQueries, "cohere-embed-v3-sim", kSeed);
+    RagConfig best = BestQualityFixed(ScoreFixedConfigs(*ds, 30, "mistral-7b-v3-awq", kSeed));
+
+    RunSpec spec;
+    spec.dataset = name;
+    spec.num_queries = kQueries;
+    spec.seed = kSeed;
+
+    // METIS on the small model, profiler cost included.
+    spec.system = SystemKind::kMetis;
+    spec.serving_model = "mistral-7b-v3-awq";
+    RunMetrics metis = RunExperiment(spec);
+
+    // Bigger fixed-config models.
+    spec.system = SystemKind::kVllmFixed;
+    spec.fixed_config = best;
+    spec.serving_model = "llama3.1-70b-awq";
+    RunMetrics llama = RunExperiment(spec);
+    spec.serving_model = "gpt-4o-serving";
+    spec.kv_pool_gib = 200;  // Provider fleet; memory is not the constraint.
+    RunMetrics gpt = RunExperiment(spec);
+
+    Table table(StrFormat("Figure 13 (%s): dollar cost vs quality", name));
+    table.SetHeader({"system", "model", "mean F1", "cost ($, 150 queries)", "vs METIS"});
+    table.AddRow({"METIS (incl. profiler)", "mistral-7b", Table::Num(metis.mean_f1(), 3),
+                  Table::Num(metis.total_cost_usd(), 4), "1.00x"});
+    table.AddRow({"vLLM fixed", "llama3.1-70b", Table::Num(llama.mean_f1(), 3),
+                  Table::Num(llama.total_cost_usd(), 4),
+                  Table::Num(llama.total_cost_usd() / metis.total_cost_usd(), 2) + "x"});
+    table.AddRow({"fixed config", "gpt-4o", Table::Num(gpt.mean_f1(), 3),
+                  Table::Num(gpt.total_cost_usd(), 4),
+                  Table::Num(gpt.total_cost_usd() / metis.total_cost_usd(), 2) + "x"});
+    table.Print();
+
+    double llama_ratio = llama.total_cost_usd() / metis.total_cost_usd();
+    double gpt_ratio = gpt.total_cost_usd() / metis.total_cost_usd();
+    PrintShapeCheck("fixed-config 70B ~2.38x and GPT-4o ~6.8x costlier than METIS, without "
+                    "beating its F1",
+                    StrFormat("70B %.2fx (F1 %.3f), GPT-4o %.2fx (F1 %.3f) vs METIS F1 %.3f",
+                              llama_ratio, llama.mean_f1(), gpt_ratio, gpt.mean_f1(),
+                              metis.mean_f1()),
+                    llama_ratio > 1.5 && gpt_ratio > llama_ratio &&
+                        metis.mean_f1() >= llama.mean_f1() - 0.05);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 1: input and output token-length distributions of the four RAG
+// datasets. Regenerates the table from the synthetic corpora and checks the
+// ranges against the paper's reported bounds.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/text/tokenizer.h"
+
+using namespace metis;
+
+namespace {
+
+struct Expected {
+  const char* dataset;
+  const char* task;
+  int in_lo, in_hi;    // Relevant-context tokens.
+  int out_lo, out_hi;  // Answer tokens.
+};
+
+constexpr Expected kExpected[] = {
+    {"squad", "Single hop QA", 400, 2000, 5, 10},
+    {"musique", "Multihop QA", 1000, 5000, 5, 20},
+    {"kg_rag_finsec", "Doc Level QA", 4000, 10000, 20, 40},
+    {"qmsum", "Summarization QA", 4000, 12000, 20, 60},
+};
+
+}  // namespace
+
+int main() {
+  Table table("Table 1: dataset input/output token statistics (200 queries each)");
+  table.SetHeader({"Dataset", "Task Type", "Input (tokens)", "Output (tokens)",
+                   "paper input", "paper output"});
+
+  bool all_ok = true;
+  for (const Expected& e : kExpected) {
+    auto ds = GetOrGenerateDataset(e.dataset, 200, "cohere-embed-v3-sim", 42);
+
+    // Input: the relevant-context footprint of a query = tokens of the
+    // document chunks generated for it (gold + same-doc distractors).
+    Samples inputs;
+    Samples outputs;
+    for (const RagQuery& q : ds->queries()) {
+      std::vector<bool> seen(ds->db().num_chunks(), false);
+      int doc_id = -1;
+      for (int32_t fid : q.gold_fact_ids) {
+        doc_id = ds->db().chunk(ds->fact(fid).chunk_id).doc_id;
+      }
+      int doc_tokens = 0;
+      for (size_t c = 0; c < ds->db().num_chunks(); ++c) {
+        if (ds->db().chunk(static_cast<ChunkId>(c)).doc_id == doc_id) {
+          doc_tokens += ds->db().chunk(static_cast<ChunkId>(c)).token_count;
+        }
+      }
+      inputs.Add(doc_tokens);
+      outputs.Add(static_cast<double>(q.gold_answer_tokens.size()));
+    }
+
+    std::string in_range = StrFormat("%.0f - %.0f", inputs.Quantile(0.02), inputs.Quantile(0.98));
+    std::string out_range =
+        StrFormat("%.0f - %.0f", outputs.Quantile(0.02), outputs.Quantile(0.98));
+    table.AddRow({e.dataset, e.task, in_range, out_range,
+                  StrFormat("%d - %d", e.in_lo, e.in_hi),
+                  StrFormat("%d - %d", e.out_lo, e.out_hi)});
+
+    // Shape: the bulk of the distribution falls inside the paper's bounds
+    // (generous slack: synthetic corpora quantize at chunk granularity).
+    bool ok = inputs.Quantile(0.10) >= e.in_lo * 0.5 &&
+              inputs.Quantile(0.90) <= e.in_hi * 1.3 &&
+              outputs.Quantile(0.10) >= e.out_lo * 0.5 &&
+              outputs.Quantile(0.90) <= e.out_hi * 1.3;
+    all_ok = all_ok && ok;
+  }
+  table.Print();
+  PrintShapeCheck("token ranges match Table 1 per dataset",
+                  all_ok ? "all four datasets in range" : "out of range", all_ok);
+  return 0;
+}

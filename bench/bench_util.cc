@@ -1,0 +1,86 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace metis {
+
+std::vector<FixedConfigScore> ScoreFixedConfigs(const Dataset& dataset, int sample_queries,
+                                                const std::string& serving_model,
+                                                uint64_t seed) {
+  std::vector<FixedConfigScore> scores;
+  int n = std::min<int>(sample_queries, static_cast<int>(dataset.queries().size()));
+  for (const RagConfig& config : FixedConfigMenu(dataset.profile())) {
+    FixedConfigScore score;
+    score.config = config;
+    for (int i = 0; i < n; ++i) {
+      RagResult r = RunSingleQuery(dataset, dataset.queries()[static_cast<size_t>(i)], config,
+                                   serving_model, seed);
+      score.mean_f1 += r.f1;
+      score.mean_delay += r.exec_delay();
+    }
+    score.mean_f1 /= n;
+    score.mean_delay /= n;
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+RagConfig BestQualityFixed(const std::vector<FixedConfigScore>& scores) {
+  // Highest mean F1, with a 1.5% tie tolerance resolved toward lower delay:
+  // no practitioner deploys a config that is seconds slower for a quality
+  // difference inside the noise floor.
+  return ClosestQualityFixed(scores, 0.015);
+}
+
+RagConfig BestQualityFixedStrict(const std::vector<FixedConfigScore>& scores) {
+  METIS_CHECK(!scores.empty());
+  const FixedConfigScore* best = &scores[0];
+  for (const auto& s : scores) {
+    if (s.mean_f1 > best->mean_f1) {
+      best = &s;
+    }
+  }
+  return best->config;
+}
+
+RagConfig ClosestQualityFixed(const std::vector<FixedConfigScore>& scores, double tolerance) {
+  METIS_CHECK(!scores.empty());
+  double best_f1 = 0;
+  for (const auto& s : scores) {
+    best_f1 = std::max(best_f1, s.mean_f1);
+  }
+  const FixedConfigScore* pick = nullptr;
+  for (const auto& s : scores) {
+    if (s.mean_f1 >= best_f1 - tolerance &&
+        (pick == nullptr || s.mean_delay < pick->mean_delay)) {
+      pick = &s;
+    }
+  }
+  METIS_CHECK(pick != nullptr);
+  return pick->config;
+}
+
+RagConfig SimilarDelayFixed(const std::vector<FixedConfigScore>& scores, double target_delay) {
+  METIS_CHECK(!scores.empty());
+  const FixedConfigScore* pick = nullptr;
+  double best_gap = std::numeric_limits<double>::max();
+  for (const auto& s : scores) {
+    double gap = std::abs(s.mean_delay - target_delay);
+    if (gap < best_gap) {
+      best_gap = gap;
+      pick = &s;
+    }
+  }
+  return pick->config;
+}
+
+void PrintShapeCheck(const std::string& claim, const std::string& measured, bool holds) {
+  std::printf("  [%s] paper: %s | measured: %s\n", holds ? "SHAPE OK" : "SHAPE OFF",
+              claim.c_str(), measured.c_str());
+}
+
+}  // namespace metis

@@ -1,0 +1,48 @@
+// Shared helpers for the per-figure benchmark binaries.
+
+#ifndef METIS_BENCH_BENCH_UTIL_H_
+#define METIS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/runner/runner.h"
+
+namespace metis {
+
+// Evaluates every menu configuration on a sample of the dataset's queries in
+// isolation (idle engine) and returns (config, mean F1, mean isolated delay)
+// triples — the "offline hand-tuning" step practitioners use to pick a static
+// configuration (paper §1).
+struct FixedConfigScore {
+  RagConfig config;
+  double mean_f1 = 0;
+  double mean_delay = 0;
+};
+std::vector<FixedConfigScore> ScoreFixedConfigs(const Dataset& dataset, int sample_queries,
+                                                const std::string& serving_model,
+                                                uint64_t seed);
+
+// The static configuration with the highest mean F1 (what the paper's Fig. 10
+// "selected config" baselines deploy). Ties within 1.5% resolve to lower delay.
+RagConfig BestQualityFixed(const std::vector<FixedConfigScore>& scores);
+
+// Strict argmax-F1 static configuration, no tie tolerance (the Fig. 12
+// ablation baseline: "vLLM's fixed configuration with highest quality").
+RagConfig BestQualityFixedStrict(const std::vector<FixedConfigScore>& scores);
+
+// The lowest-delay static configuration whose F1 is within `tolerance` of the
+// best achievable F1 (the paper's "closest quality" comparisons).
+RagConfig ClosestQualityFixed(const std::vector<FixedConfigScore>& scores, double tolerance);
+
+// The lowest-delay static configuration with delay >= the given target
+// ("fixed configuration of similar delay").
+RagConfig SimilarDelayFixed(const std::vector<FixedConfigScore>& scores, double target_delay);
+
+// Emits a one-line paper-vs-measured verdict under a table.
+void PrintShapeCheck(const std::string& claim, const std::string& measured, bool holds);
+
+}  // namespace metis
+
+#endif  // METIS_BENCH_BENCH_UTIL_H_

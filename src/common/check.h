@@ -1,0 +1,36 @@
+// Lightweight assertion macros used across the METIS libraries.
+//
+// These are always-on invariant checks (not compiled out in release builds):
+// the simulation is deterministic and cheap, and a silently-corrupt schedule
+// is much worse than an aborted run.
+
+#ifndef METIS_SRC_COMMON_CHECK_H_
+#define METIS_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace metis {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace metis
+
+#define METIS_CHECK(expr)                                \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::metis::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                    \
+  } while (0)
+
+#define METIS_CHECK_GE(a, b) METIS_CHECK((a) >= (b))
+#define METIS_CHECK_GT(a, b) METIS_CHECK((a) > (b))
+#define METIS_CHECK_LE(a, b) METIS_CHECK((a) <= (b))
+#define METIS_CHECK_LT(a, b) METIS_CHECK((a) < (b))
+#define METIS_CHECK_EQ(a, b) METIS_CHECK((a) == (b))
+#define METIS_CHECK_NE(a, b) METIS_CHECK((a) != (b))
+
+#endif  // METIS_SRC_COMMON_CHECK_H_

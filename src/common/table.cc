@@ -1,0 +1,67 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace metis {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string Table::Render() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) {
+    cols = std::max(cols, r.size());
+  }
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    widen(r);
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      line += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (size_t i = 0; i < cols; ++i) {
+    sep += std::string(width[i] + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += sep;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += sep;
+  }
+  for (const auto& r : rows_) {
+    out += render_row(r);
+  }
+  out += sep;
+  return out;
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace metis

@@ -1,0 +1,34 @@
+// Console table printer used by the benchmark harness to emit the rows and
+// series that each paper table/figure reports.
+
+#ifndef METIS_SRC_COMMON_TABLE_H_
+#define METIS_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace metis {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  // Renders with aligned columns and a title banner.
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metis
+
+#endif  // METIS_SRC_COMMON_TABLE_H_

@@ -1,0 +1,217 @@
+#include "src/core/joint_scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace metis {
+
+JointScheduler::JointScheduler(const LlmEngine* engine, const SynthesisExecutor* executor,
+                               int intermediate_stride, JointSchedulerOptions options)
+    : engine_(engine),
+      executor_(executor),
+      intermediate_stride_(intermediate_stride),
+      options_(options) {
+  METIS_CHECK(engine != nullptr);
+  METIS_CHECK(executor != nullptr);
+  METIS_CHECK_GT(intermediate_stride, 0);
+}
+
+double JointScheduler::PeakBytes(const RagConfig& config, int query_tokens,
+                                 int output_estimate) const {
+  switch (config.method) {
+    case SynthesisMethod::kStuff: {
+      int prompt = executor_->StuffPromptTokens(query_tokens, config.num_chunks);
+      return engine_->BytesNeededFor(prompt, output_estimate);
+    }
+    case SynthesisMethod::kMapRerank: {
+      // Mappers are independent single-chunk calls; the engine admits them
+      // piecewise, so the schedulable unit is one mapper.
+      int prompt = executor_->MapperPromptTokens(query_tokens);
+      return engine_->BytesNeededFor(prompt, output_estimate);
+    }
+    case SynthesisMethod::kMapReduce: {
+      int mapper = executor_->MapperPromptTokens(query_tokens);
+      int reduce = executor_->ReducePromptTokens(query_tokens, config.num_chunks,
+                                                 config.intermediate_tokens);
+      double mapper_bytes = engine_->BytesNeededFor(mapper, config.intermediate_tokens);
+      double reduce_bytes = engine_->BytesNeededFor(reduce, output_estimate);
+      return std::max(mapper_bytes, reduce_bytes);
+    }
+  }
+  METIS_CHECK(false && "unreachable");
+  return 0;
+}
+
+double JointScheduler::TotalBytes(const RagConfig& config, int query_tokens,
+                                  int output_estimate) const {
+  switch (config.method) {
+    case SynthesisMethod::kStuff:
+      return PeakBytes(config, query_tokens, output_estimate);
+    case SynthesisMethod::kMapRerank: {
+      int prompt = executor_->MapperPromptTokens(query_tokens);
+      return config.num_chunks * engine_->BytesNeededFor(prompt, output_estimate);
+    }
+    case SynthesisMethod::kMapReduce: {
+      int mapper = executor_->MapperPromptTokens(query_tokens);
+      int reduce = executor_->ReducePromptTokens(query_tokens, config.num_chunks,
+                                                 config.intermediate_tokens);
+      return config.num_chunks * engine_->BytesNeededFor(mapper, config.intermediate_tokens) +
+             engine_->BytesNeededFor(reduce, output_estimate);
+    }
+  }
+  METIS_CHECK(false && "unreachable");
+  return 0;
+}
+
+SchedulerDecision JointScheduler::Choose(const PrunedConfigSpace& space,
+                                         const QueryProfile& profile, int query_tokens,
+                                         int output_estimate) const {
+  SchedulerDecision decision;
+  decision.free_bytes = options_.use_projected_free ? engine_->projected_free_kv_bytes()
+                                                    : engine_->free_kv_bytes();
+
+  bool found = false;
+  double best_peak = -1;
+  double best_total = -1;
+  RagConfig best;
+
+  auto consider = [&](const RagConfig& cfg) {
+    double peak = PeakBytes(cfg, query_tokens, output_estimate);
+    if (peak > decision.free_bytes) {
+      return;  // Would queue behind memory; never picked (§4.3).
+    }
+    double total = TotalBytes(cfg, query_tokens, output_estimate);
+    if (peak > best_peak || (peak == best_peak && total > best_total)) {
+      best_peak = peak;
+      best_total = total;
+      best = cfg;
+      found = true;
+    }
+  };
+
+  auto consider_method = [&](SynthesisMethod m) {
+    int max_k = space.max_chunks;
+    if (m == SynthesisMethod::kStuff && options_.litm_cap) {
+      max_k = MaxLitmSafeStuffChunks(space, query_tokens);
+    }
+    for (int k = space.min_chunks; k <= max_k; ++k) {
+      if (m == SynthesisMethod::kMapReduce) {
+        for (int L = space.min_intermediate; L <= space.max_intermediate;
+             L += intermediate_stride_) {
+          consider(RagConfig{m, k, L});
+        }
+      } else {
+        consider(RagConfig{m, k, space.min_intermediate});
+      }
+    }
+  };
+
+  // Within the pruned space, quality ordering is known (Fig. 4a): complex
+  // queries do best with map_reduce's denoising, so when any map_reduce
+  // configuration fits it is preferred; the memory best-fit then picks the
+  // richest variant. Other methods are only considered when map_reduce does
+  // not fit at all (or is not in the space).
+  bool has_map_reduce = options_.prefer_map_reduce_for_complex &&
+                        std::find(space.methods.begin(), space.methods.end(),
+                                  SynthesisMethod::kMapReduce) != space.methods.end();
+  if (profile.high_complexity && has_map_reduce) {
+    consider_method(SynthesisMethod::kMapReduce);
+  }
+  if (!found) {
+    for (SynthesisMethod m : space.methods) {
+      if (profile.high_complexity && has_map_reduce && m == SynthesisMethod::kMapReduce) {
+        continue;  // Already considered.
+      }
+      consider_method(m);
+    }
+  }
+
+  if (found) {
+    decision.config = best;
+    decision.peak_bytes = best_peak;
+    return decision;
+  }
+
+  // Nothing in the pruned space fits the GPU right now: fall back to a
+  // cheaper configuration just outside the range instead of queueing (§4.3).
+  decision.used_fallback = true;
+  if (!profile.requires_joint) {
+    // map_rerank units always fit piecewise; cover the information need with
+    // the usual 1.5x retrieval headroom.
+    int k = std::min(space.max_chunks, (3 * space.min_chunks + 1) / 2);
+    decision.config = RagConfig{SynthesisMethod::kMapRerank, k, space.min_intermediate};
+  } else {
+    // stuff with as many chunks as fit in the currently free memory — but if
+    // that cannot even cover the query's information need, the cheaper
+    // configuration that *does* meet the requirement is map_reduce with short
+    // intermediates: its mappers slot into the current batch piecewise. This
+    // is exactly the Fig. 8 scenario ("we select MapReduce as it readily fits
+    // in the current batch").
+    int k_fit = 0;
+    for (int k = space.max_chunks; k >= 1; --k) {
+      RagConfig cfg{SynthesisMethod::kStuff, k, space.min_intermediate};
+      if (PeakBytes(cfg, query_tokens, output_estimate) <= decision.free_bytes) {
+        k_fit = k;
+        break;
+      }
+    }
+    if (k_fit >= space.min_chunks || !options_.fig8_fallback) {
+      decision.config =
+          RagConfig{SynthesisMethod::kStuff, std::max(k_fit, 1), space.min_intermediate};
+    } else {
+      int mid_intermediate = (space.min_intermediate + space.max_intermediate) / 2;
+      decision.config =
+          RagConfig{SynthesisMethod::kMapReduce, space.min_chunks, mid_intermediate};
+    }
+  }
+  decision.peak_bytes = PeakBytes(decision.config, query_tokens, output_estimate);
+  return decision;
+}
+
+RagConfig JointScheduler::MedianOfSpace(const PrunedConfigSpace& space) const {
+  METIS_CHECK(!space.methods.empty());
+  RagConfig cfg;
+  // Prefer the middle method by the cheap->expensive order the space uses.
+  cfg.method = space.methods[space.methods.size() / 2];
+  cfg.num_chunks = (space.min_chunks + space.max_chunks) / 2;
+  if (cfg.method == SynthesisMethod::kStuff) {
+    cfg.num_chunks = std::min(cfg.num_chunks, MaxLitmSafeStuffChunks(space, 32));
+  }
+  cfg.intermediate_tokens = (space.min_intermediate + space.max_intermediate) / 2;
+  return cfg;
+}
+
+int JointScheduler::MaxLitmSafeStuffChunks(const PrunedConfigSpace& space,
+                                           int query_tokens) const {
+  int max_k = space.min_chunks;  // Never shrink below the information need.
+  for (int k = space.min_chunks; k <= space.max_chunks; ++k) {
+    if (executor_->StuffPromptTokens(query_tokens, k) > kStuffContextBudgetTokens) {
+      break;
+    }
+    max_k = k;
+  }
+  return max_k;
+}
+
+RagConfig JointScheduler::QualityMaxOfSpace(const PrunedConfigSpace& space,
+                                            int query_tokens) const {
+  METIS_CHECK(!space.methods.empty());
+  RagConfig cfg;
+  cfg.method = space.methods.back();  // Most expensive method listed.
+  // Retrieval coverage saturates around 1.5-2x the information need; beyond
+  // that extra chunks only dilute quality (Fig. 4b), so the F1-maximizing
+  // width sits at ~1.5x the space minimum, and stuff additionally respects
+  // the LITM budget.
+  int quality_k = std::min(space.max_chunks, (3 * space.min_chunks + 1) / 2);
+  cfg.num_chunks = cfg.method == SynthesisMethod::kStuff
+                       ? std::min(quality_k, MaxLitmSafeStuffChunks(space, query_tokens))
+                       : quality_k;
+  // Summary quality saturates well inside the estimated range (Fig. 4c);
+  // beyond that longer intermediates no longer maximize F1.
+  cfg.intermediate_tokens =
+      space.min_intermediate + (space.max_intermediate - space.min_intermediate) * 3 / 5;
+  return cfg;
+}
+
+}  // namespace metis

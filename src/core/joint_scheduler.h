@@ -1,0 +1,95 @@
+// Joint configuration-scheduling (paper §4.3).
+//
+// Given the pruned configuration space for a query and the engine's *current*
+// free KV memory, picks the configuration to execute:
+//
+//   - A configuration "fits" if its peak concurrent KV footprint (the whole
+//     prompt for stuff; one mapper unit for map_rerank/map_reduce, whose calls
+//     the engine can admit piecewise — Fig. 8) fits in free memory after the
+//     2% OOM buffer.
+//   - Among fitting configurations, the one with the highest peak footprint
+//     wins: inside the pruned (already-high-quality) space, more memory means
+//     more chunks / longer intermediates, i.e. slightly higher quality.
+//   - If nothing in the space fits, fall back to a cheap configuration just
+//     outside the range rather than queueing: map_rerank with as many chunks
+//     as the space allows when no joint reasoning is needed, else stuff with
+//     as many chunks as fit right now.
+
+#ifndef METIS_SRC_CORE_JOINT_SCHEDULER_H_
+#define METIS_SRC_CORE_JOINT_SCHEDULER_H_
+
+#include "src/core/mapping.h"
+#include "src/llm/engine.h"
+#include "src/synthesis/synthesis.h"
+
+namespace metis {
+
+struct SchedulerDecision {
+  RagConfig config;
+  bool used_fallback = false;
+  double peak_bytes = 0;     // Estimated peak KV footprint of the choice.
+  double free_bytes = 0;     // Free KV at decision time (for tracing).
+};
+
+// Design-choice switches for the scheduler, used by the design-ablation bench
+// (bench_ablation_design) to quantify each refinement this reproduction makes
+// on top of Algorithm 1's letter. Defaults are the full system.
+struct JointSchedulerOptions {
+  // Exclude stuff configurations whose prompt exceeds the LITM-safe budget.
+  bool litm_cap = true;
+  // Prefer map_reduce for high-complexity queries when it fits (Fig. 4a).
+  bool prefer_map_reduce_for_complex = true;
+  // Fall back to map_reduce when stuff-as-fits cannot cover the information
+  // need (the Fig. 8 scenario); false = always stuff-as-fits, the literal
+  // reading of §4.3.
+  bool fig8_fallback = true;
+  // Measure headroom as projected free memory (free minus waiting-queue
+  // claims); false = raw free bytes.
+  bool use_projected_free = true;
+};
+
+class JointScheduler {
+ public:
+  // `output_token_estimate`: expected answer length used in footprint math.
+  JointScheduler(const LlmEngine* engine, const SynthesisExecutor* executor,
+                 int intermediate_stride = 10, JointSchedulerOptions options = {});
+
+  // Peak concurrent KV bytes (incl. admission buffer) a config needs.
+  double PeakBytes(const RagConfig& config, int query_tokens, int output_estimate) const;
+  // Total KV bytes across all of a config's calls (tie-break desirability).
+  double TotalBytes(const RagConfig& config, int query_tokens, int output_estimate) const;
+
+  // The best-fit selection described above.
+  SchedulerDecision Choose(const PrunedConfigSpace& space, const QueryProfile& profile,
+                           int query_tokens, int output_estimate) const;
+
+  // Resource-oblivious reference policies (ablation / baselines):
+  // median of the pruned space (the "straw-man" of §4.3).
+  RagConfig MedianOfSpace(const PrunedConfigSpace& space) const;
+  // Quality-maximizing corner of the space (the AdaptiveRAG* behaviour:
+  // most expensive method, most chunks, longest intermediates).
+  RagConfig QualityMaxOfSpace(const PrunedConfigSpace& space, int query_tokens = 32) const;
+
+  // Largest stuff num_chunks (>= min_chunks) whose prompt stays inside the
+  // lost-in-the-middle-safe context budget. Both the scheduler and the
+  // quality-max policy refuse stuff prompts beyond this: Fig. 4b shows
+  // quality *drops* there, so such configs are not "promising" (§4.2).
+  int MaxLitmSafeStuffChunks(const PrunedConfigSpace& space, int query_tokens) const;
+
+  // Context budget (tokens) past which stuff prompts are considered
+  // quality-degrading. Default tracks the behaviour model's LITM onset.
+  static constexpr int kStuffContextBudgetTokens = 5120;
+
+  const LlmEngine& engine() const { return *engine_; }
+  const JointSchedulerOptions& options() const { return options_; }
+
+ private:
+  const LlmEngine* engine_;
+  const SynthesisExecutor* executor_;
+  int intermediate_stride_;
+  JointSchedulerOptions options_;
+};
+
+}  // namespace metis
+
+#endif  // METIS_SRC_CORE_JOINT_SCHEDULER_H_

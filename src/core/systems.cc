@@ -1,0 +1,189 @@
+#include "src/core/systems.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/text/tokenizer.h"
+
+namespace metis {
+
+namespace {
+
+QueryRecord MakeRecord(const char* system, const RagQuery& query, const RagConfig& config,
+                       SimTime arrival, SimTime finish, RagResult result) {
+  QueryRecord rec;
+  rec.query_id = query.id;
+  rec.system = system;
+  rec.config = config;
+  rec.arrival_time = arrival;
+  rec.finish_time = finish;
+  rec.e2e_delay = finish - arrival;
+  rec.result = std::move(result);
+  return rec;
+}
+
+}  // namespace
+
+FixedConfigSystem::FixedConfigSystem(Simulator* sim, SynthesisExecutor* executor,
+                                     RagConfig config, std::string label, RecordSink sink)
+    : sim_(sim),
+      executor_(executor),
+      config_(config),
+      label_(std::move(label)),
+      sink_(std::move(sink)) {
+  METIS_CHECK(sim != nullptr);
+  METIS_CHECK(executor != nullptr);
+  METIS_CHECK(sink_ != nullptr);
+}
+
+void FixedConfigSystem::Accept(const RagQuery& query) {
+  SimTime arrival = sim_->now();
+  executor_->Execute(query, config_, [this, query, arrival](RagResult result) {
+    sink_(MakeRecord(label_.c_str(), query, config_, arrival, sim_->now(), std::move(result)));
+  });
+}
+
+AdaptiveRagSystem::AdaptiveRagSystem(Simulator* sim, SynthesisExecutor* executor,
+                                     QueryProfiler* profiler, JointScheduler* scheduler,
+                                     RecordSink sink)
+    : sim_(sim),
+      executor_(executor),
+      profiler_(profiler),
+      scheduler_(scheduler),
+      sink_(std::move(sink)) {
+  METIS_CHECK(sim != nullptr);
+  METIS_CHECK(executor != nullptr);
+  METIS_CHECK(profiler != nullptr);
+  METIS_CHECK(scheduler != nullptr);
+  METIS_CHECK(sink_ != nullptr);
+}
+
+void AdaptiveRagSystem::Accept(const RagQuery& query) {
+  SimTime arrival = sim_->now();
+  profiler_->ProfileAsync(query, [this, query, arrival](QueryProfiler::Outcome outcome) {
+    PrunedConfigSpace space = RuleBasedMapping(outcome.profile);
+    // Maximize the F1 proxy, disregarding the system resource cost (§7.1).
+    RagConfig config = scheduler_->QualityMaxOfSpace(space);
+    executor_->Execute(query, config, [this, query, arrival, outcome,
+                                       config](RagResult result) {
+      QueryRecord rec = MakeRecord("adaptive_rag*", query, config, arrival, sim_->now(),
+                                   std::move(result));
+      rec.profile = outcome.profile;
+      rec.profile_was_bad = outcome.was_bad;
+      rec.profiler_delay = outcome.delay_seconds;
+      sink_(std::move(rec));
+    });
+  });
+}
+
+MetisSystem::MetisSystem(Simulator* sim, SynthesisExecutor* executor, QueryProfiler* profiler,
+                         JointScheduler* scheduler, const Dataset* dataset, Options options,
+                         RecordSink sink)
+    : sim_(sim),
+      executor_(executor),
+      profiler_(profiler),
+      scheduler_(scheduler),
+      dataset_(dataset),
+      options_(options),
+      sink_(std::move(sink)) {
+  METIS_CHECK(sim != nullptr);
+  METIS_CHECK(executor != nullptr);
+  METIS_CHECK(profiler != nullptr);
+  METIS_CHECK(scheduler != nullptr);
+  METIS_CHECK(dataset != nullptr);
+  METIS_CHECK(sink_ != nullptr);
+}
+
+PrunedConfigSpace MetisSystem::ApplyKnobMasks(PrunedConfigSpace space) const {
+  if (!options_.tune_method) {
+    space.methods = {options_.base_config.method};
+  }
+  if (!options_.tune_chunks) {
+    space.min_chunks = options_.base_config.num_chunks;
+    space.max_chunks = options_.base_config.num_chunks;
+  }
+  if (!options_.tune_intermediate) {
+    space.min_intermediate = options_.base_config.intermediate_tokens;
+    space.max_intermediate = options_.base_config.intermediate_tokens;
+  }
+  return space;
+}
+
+void MetisSystem::MaybeRunGoldenFeedback(const RagQuery& query) {
+  if (!options_.feedback_enabled) {
+    return;
+  }
+  if (accepted_ % static_cast<uint64_t>(options_.feedback_interval) != 0) {
+    return;
+  }
+  // Cost control (§5): the golden configuration is heavyweight, so it only
+  // runs when the engine has clear headroom — otherwise its decode burst
+  // would degrade the configuration decisions of concurrent queries.
+  const LlmEngine& engine = scheduler_->engine();
+  if (engine.queue_depth() > 0 ||
+      engine.projected_free_kv_bytes() < 0.5 * engine.total_kv_bytes()) {
+    return;
+  }
+  ++feedback_runs_;
+  // Most accurate configuration (paper §5): map_reduce, 30 chunks, 300-token
+  // intermediates. Runs as background load; its output is not recorded as a
+  // served query but its structure teaches the profiler.
+  RagConfig golden{SynthesisMethod::kMapReduce, 30, 300};
+  executor_->Execute(query, golden, [this, query](RagResult result) {
+    // The golden answer exposes how many standalone facts the full-effort
+    // pipeline actually drew on and the summary detail it needed; that is
+    // the signal fed back (§5).
+    int pieces = result.gold_facts_retrieved > 0 ? result.gold_facts_retrieved
+                                                 : query.num_facts;
+    profiler_->AddGoldenFeedback(query, pieces, query.ideal_summary_tokens);
+  });
+}
+
+void MetisSystem::Accept(const RagQuery& query) {
+  ++accepted_;
+  SimTime arrival = sim_->now();
+  MaybeRunGoldenFeedback(query);
+
+  profiler_->ProfileAsync(query, [this, query, arrival](QueryProfiler::Outcome outcome) {
+    int max_chunks = static_cast<int>(dataset_->db().num_chunks());
+    PrunedConfigSpace space = RuleBasedMapping(outcome.profile, max_chunks);
+
+    bool low_confidence = outcome.profile.confidence < options_.confidence_threshold;
+    if (low_confidence && !recent_spaces_.empty()) {
+      // §5: distrust the profile; reuse the pruned spaces of recent queries.
+      std::vector<PrunedConfigSpace> window(recent_spaces_.begin(), recent_spaces_.end());
+      space = PrunedConfigSpace::AverageOf(window);
+    } else {
+      recent_spaces_.push_back(space);
+      while (recent_spaces_.size() > static_cast<size_t>(options_.recent_spaces)) {
+        recent_spaces_.pop_front();
+      }
+    }
+
+    space = ApplyKnobMasks(space);
+
+    int query_tokens = static_cast<int>(CountTokens(query.text));
+    SchedulerDecision decision;
+    if (options_.pick == ConfigPick::kBestFit) {
+      decision = scheduler_->Choose(space, outcome.profile, query_tokens,
+                                    options_.output_token_estimate);
+    } else {
+      decision.config = scheduler_->MedianOfSpace(space);
+    }
+
+    executor_->Execute(query, decision.config,
+                       [this, query, arrival, outcome, decision,
+                        low_confidence](RagResult result) {
+      QueryRecord rec = MakeRecord("metis", query, decision.config, arrival, sim_->now(),
+                                   std::move(result));
+      rec.profile = outcome.profile;
+      rec.profile_was_bad = outcome.was_bad;
+      rec.profiler_delay = outcome.delay_seconds;
+      rec.low_confidence_fallback = low_confidence;
+      rec.scheduler_fallback = decision.used_fallback;
+      sink_(std::move(rec));
+    });
+  });
+}
+
+}  // namespace metis

@@ -1,0 +1,103 @@
+#include "src/embed/embedding.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/text/tokenizer.h"
+
+namespace metis {
+
+const std::vector<EmbeddingModelSpec>& EmbeddingModelCatalog() {
+  // Dimensions match the real models' output sizes; at these widths the
+  // hashed-projection collision noise (~1/sqrt(dim)) stays well below the
+  // topical-overlap signal even for corpora of a few thousand chunks.
+  static const std::vector<EmbeddingModelSpec> kCatalog = {
+      {"cohere-embed-v3-sim", 1024, 0x1001, 0.5},
+      {"all-mpnet-base-v2-sim", 768, 0x2002, 0.4},
+      {"text-embedding-3-large-256-sim", 1024, 0x3003, 0.6},
+  };
+  return kCatalog;
+}
+
+const EmbeddingModelSpec& GetEmbeddingModel(std::string_view name) {
+  for (const auto& spec : EmbeddingModelCatalog()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  METIS_CHECK(false && "unknown embedding model");
+  std::abort();
+}
+
+EmbeddingModel::EmbeddingModel(EmbeddingModelSpec spec) : spec_(std::move(spec)) {
+  METIS_CHECK_GT(spec_.dim, 0u);
+}
+
+Embedding EmbeddingModel::Embed(std::string_view text) const {
+  Embedding v(spec_.dim, 0.0f);
+  std::vector<std::string> tokens = Tokenize(text);
+
+  auto add_feature = [&](uint64_t h, double weight) {
+    // Two hashed buckets with signed contributions approximate a random
+    // projection; this keeps unrelated texts near-orthogonal.
+    uint64_t st = h ^ spec_.hash_salt;
+    uint64_t h1 = SplitMix64(st);
+    uint64_t h2 = SplitMix64(st);
+    size_t i1 = static_cast<size_t>(h1 % spec_.dim);
+    size_t i2 = static_cast<size_t>(h2 % spec_.dim);
+    float s1 = (h1 >> 63) ? 1.0f : -1.0f;
+    float s2 = (h2 >> 63) ? 1.0f : -1.0f;
+    v[i1] += s1 * static_cast<float>(weight);
+    v[i2] += s2 * static_cast<float>(weight);
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    add_feature(HashString64(tokens[i]), 1.0);
+    if (i + 1 < tokens.size() && spec_.bigram_weight > 0) {
+      add_feature(HashString64(tokens[i] + "_" + tokens[i + 1]), spec_.bigram_weight);
+    }
+  }
+
+  // L2-normalize so L2 distance and cosine similarity agree in ranking.
+  double norm2 = 0;
+  for (float x : v) {
+    norm2 += static_cast<double>(x) * x;
+  }
+  if (norm2 > 0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (float& x : v) {
+      x *= inv;
+    }
+  }
+  return v;
+}
+
+float L2DistanceSquared(const Embedding& a, const Embedding& b) {
+  METIS_CHECK_EQ(a.size(), b.size());
+  double d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = static_cast<double>(a[i]) - b[i];
+    d += diff * diff;
+  }
+  return static_cast<float>(d);
+}
+
+float CosineSimilarity(const Embedding& a, const Embedding& b) {
+  METIS_CHECK_EQ(a.size(), b.size());
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0 || nb == 0) {
+    return 0;
+  }
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace metis

@@ -1,0 +1,58 @@
+// Deterministic text embeddings.
+//
+// Stand-in for Cohere-embed-v3 / all-mpnet-base-v2 / text-embedding-3-large
+// (paper §6, §A.2): a hashed bag-of-words+bigrams vector, L2-normalized.
+// Documents sharing topical words with a query land close in L2/cosine space,
+// which is the only property the retrieval pipeline depends on. Different
+// model names use different hash salts and dimensions, so switching embedding
+// models reshuffles near-ties without changing retrieval quality — matching
+// the paper's observation that the embedding choice moves F1 by <1%.
+
+#ifndef METIS_SRC_EMBED_EMBEDDING_H_
+#define METIS_SRC_EMBED_EMBEDDING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metis {
+
+using Embedding = std::vector<float>;
+
+struct EmbeddingModelSpec {
+  std::string name;
+  size_t dim = 256;
+  uint64_t hash_salt = 0;
+  // Weight of bigram features relative to unigrams (adds word-order signal).
+  double bigram_weight = 0.5;
+};
+
+// Returns the catalog of embedding models used by the experiments.
+const std::vector<EmbeddingModelSpec>& EmbeddingModelCatalog();
+
+// Looks up a catalog model by name; aborts if unknown.
+const EmbeddingModelSpec& GetEmbeddingModel(std::string_view name);
+
+class EmbeddingModel {
+ public:
+  explicit EmbeddingModel(EmbeddingModelSpec spec);
+
+  // Embeds text; deterministic for a given (model, text).
+  Embedding Embed(std::string_view text) const;
+
+  size_t dim() const { return spec_.dim; }
+  const std::string& name() const { return spec_.name; }
+
+ private:
+  EmbeddingModelSpec spec_;
+};
+
+// Squared L2 distance between equal-dimension vectors.
+float L2DistanceSquared(const Embedding& a, const Embedding& b);
+
+// Cosine similarity (vectors need not be normalized).
+float CosineSimilarity(const Embedding& a, const Embedding& b);
+
+}  // namespace metis
+
+#endif  // METIS_SRC_EMBED_EMBEDDING_H_

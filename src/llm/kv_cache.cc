@@ -1,0 +1,96 @@
+#include "src/llm/kv_cache.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace metis {
+
+KvCacheManager::KvCacheManager(double pool_bytes, int block_tokens, double kv_bytes_per_token)
+    : block_tokens_(block_tokens),
+      block_bytes_(static_cast<double>(block_tokens) * kv_bytes_per_token) {
+  METIS_CHECK_GT(block_tokens, 0);
+  METIS_CHECK_GT(kv_bytes_per_token, 0.0);
+  METIS_CHECK_GT(pool_bytes, 0.0);
+  total_blocks_ = static_cast<int64_t>(pool_bytes / block_bytes_);
+  METIS_CHECK_GT(total_blocks_, 0);
+}
+
+int64_t KvCacheManager::BlocksForTokens(int64_t tokens) const {
+  METIS_CHECK_GE(tokens, 0);
+  return (tokens + block_tokens_ - 1) / block_tokens_;
+}
+
+double KvCacheManager::BytesForTokens(int64_t tokens) const {
+  return static_cast<double>(BlocksForTokens(tokens)) * block_bytes_;
+}
+
+bool KvCacheManager::Allocate(uint64_t req, int64_t tokens) {
+  METIS_CHECK(owned_.find(req) == owned_.end());
+  int64_t blocks = BlocksForTokens(tokens);
+  if (blocks > free_blocks()) {
+    return false;
+  }
+  used_blocks_ += blocks;
+  owned_[req] = Owned{tokens, blocks};
+  return true;
+}
+
+bool KvCacheManager::Extend(uint64_t req, int64_t extra_tokens) {
+  auto it = owned_.find(req);
+  METIS_CHECK(it != owned_.end());
+  METIS_CHECK_GE(extra_tokens, 0);
+  int64_t new_tokens = it->second.tokens + extra_tokens;
+  int64_t new_blocks = BlocksForTokens(new_tokens);
+  int64_t delta = new_blocks - it->second.blocks;
+  if (delta > free_blocks()) {
+    return false;
+  }
+  used_blocks_ += delta;
+  it->second.tokens = new_tokens;
+  it->second.blocks = new_blocks;
+  return true;
+}
+
+void KvCacheManager::Free(uint64_t req) {
+  auto it = owned_.find(req);
+  if (it == owned_.end()) {
+    return;
+  }
+  used_blocks_ -= it->second.blocks;
+  METIS_CHECK_GE(used_blocks_, 0);
+  owned_.erase(it);
+}
+
+int64_t KvCacheManager::AcquirePrefix(uint64_t group, int64_t tokens) {
+  auto it = prefixes_.find(group);
+  if (it != prefixes_.end() && it->second.refs > 0) {
+    ++it->second.refs;
+    return 0;
+  }
+  int64_t blocks = BlocksForTokens(tokens);
+  if (blocks > free_blocks()) {
+    return -1;
+  }
+  used_blocks_ += blocks;
+  prefixes_[group] = Prefix{blocks, 1};
+  return blocks;
+}
+
+void KvCacheManager::ReleasePrefix(uint64_t group) {
+  auto it = prefixes_.find(group);
+  METIS_CHECK(it != prefixes_.end());
+  METIS_CHECK_GT(it->second.refs, 0);
+  if (--it->second.refs == 0) {
+    used_blocks_ -= it->second.blocks;
+    METIS_CHECK_GE(used_blocks_, 0);
+    prefixes_.erase(it);
+  }
+}
+
+bool KvCacheManager::PrefixResident(uint64_t group) const {
+  auto it = prefixes_.find(group);
+  return it != prefixes_.end() && it->second.refs > 0;
+}
+
+}  // namespace metis

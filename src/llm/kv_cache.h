@@ -1,0 +1,85 @@
+// Paged KV-cache manager (PagedAttention-style block allocator).
+//
+// The GPU's KV pool is divided into fixed-size token blocks. Each running
+// request owns a chain of blocks covering its prompt + generated tokens.
+// Prefix sharing lets requests in the same prefix group alias the blocks that
+// hold their shared instruction prefix (refcounted), which is how the Parrot*
+// baseline and METIS save both prefill compute and memory on sibling calls.
+
+#ifndef METIS_SRC_LLM_KV_CACHE_H_
+#define METIS_SRC_LLM_KV_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace metis {
+
+class KvCacheManager {
+ public:
+  // pool_bytes: KV budget (GPU memory after weights); block_tokens: tokens per
+  // block; kv_bytes_per_token: from the model spec.
+  KvCacheManager(double pool_bytes, int block_tokens, double kv_bytes_per_token);
+
+  // Number of whole blocks needed to hold `tokens` tokens.
+  int64_t BlocksForTokens(int64_t tokens) const;
+
+  // Bytes that `tokens` tokens occupy after block rounding.
+  double BytesForTokens(int64_t tokens) const;
+
+  int64_t total_blocks() const { return total_blocks_; }
+  int64_t free_blocks() const { return total_blocks_ - used_blocks_; }
+  double free_bytes() const { return static_cast<double>(free_blocks()) * block_bytes_; }
+  double total_bytes() const { return static_cast<double>(total_blocks_) * block_bytes_; }
+  double block_bytes() const { return block_bytes_; }
+  int block_tokens() const { return block_tokens_; }
+
+  // Reserves blocks for `tokens` tokens for request `req`. Returns false
+  // (without side effects) if the pool cannot satisfy the reservation.
+  bool Allocate(uint64_t req, int64_t tokens);
+
+  // Extends request `req` by `extra_tokens` (decode growth). Only allocates
+  // new blocks when the request crosses a block boundary.
+  bool Extend(uint64_t req, int64_t extra_tokens);
+
+  // Releases everything owned by `req` (no-op if unknown).
+  void Free(uint64_t req);
+
+  // --- Prefix sharing ---
+  // Acquires the shared prefix of `group` covering `tokens` tokens. The first
+  // caller pays the blocks; later callers just bump the refcount. Returns the
+  // number of *newly allocated* blocks (0 on a cache hit), or -1 if the pool
+  // is out of space.
+  int64_t AcquirePrefix(uint64_t group, int64_t tokens);
+  // Drops one reference; frees the blocks when the last reference goes away.
+  void ReleasePrefix(uint64_t group);
+  // True if the group's prefix is resident (someone holds it).
+  bool PrefixResident(uint64_t group) const;
+
+  // Observability.
+  int64_t used_blocks() const { return used_blocks_; }
+  size_t live_requests() const { return owned_.size(); }
+
+ private:
+  int block_tokens_;
+  double block_bytes_;
+  int64_t total_blocks_;
+  int64_t used_blocks_ = 0;
+
+  struct Owned {
+    int64_t tokens = 0;
+    int64_t blocks = 0;
+  };
+  std::unordered_map<uint64_t, Owned> owned_;
+
+  struct Prefix {
+    int64_t blocks = 0;
+    int refs = 0;
+  };
+  std::unordered_map<uint64_t, Prefix> prefixes_;
+};
+
+}  // namespace metis
+
+#endif  // METIS_SRC_LLM_KV_CACHE_H_

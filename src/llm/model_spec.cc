@@ -1,0 +1,114 @@
+#include "src/llm/model_spec.h"
+
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace metis {
+
+double KvBytesPerToken(int layers, int kv_heads, int head_dim) {
+  // Key + value, fp16.
+  return 2.0 * layers * kv_heads * head_dim * 2.0;
+}
+
+ModelSpec Mistral7BAwq() {
+  ModelSpec m;
+  m.name = "mistral-7b-v3-awq";
+  m.weight_bytes = 4.2 * kGiB;
+  // 32 layers, 8 KV heads (GQA), 128 head dim -> 128 KiB/token.
+  m.kv_bytes_per_token = KvBytesPerToken(32, 8, 128);
+  m.prefill_tokens_per_sec = 64000;
+  m.step_overhead_sec = 0.011;          // ~90 decode tokens/s/seq unbatched.
+  m.attn_prefill_coeff = 6e-10;         // 20k-token prompt adds ~0.12 s.
+  m.attn_decode_coeff = 6e-8;
+  m.max_context_tokens = 32768;
+  m.fact_recovery = 0.80;
+  m.reasoning_factor = 0.88;
+  m.api_model = false;
+  m.usd_per_gpu_sec = 0.0005;           // ~ $1.8/hr A40 on-demand incl. host.
+  m.num_gpus = 1;
+  return m;
+}
+
+ModelSpec Llama70BAwq() {
+  ModelSpec m;
+  m.name = "llama3.1-70b-awq";
+  m.weight_bytes = 37.0 * kGiB;
+  // 80 layers, 8 KV heads, 128 head dim -> 320 KiB/token.
+  m.kv_bytes_per_token = KvBytesPerToken(80, 8, 128);
+  m.prefill_tokens_per_sec = 13000;
+  m.step_overhead_sec = 0.045;          // ~22 decode tokens/s/seq unbatched.
+  m.attn_prefill_coeff = 4e-9;
+  m.attn_decode_coeff = 2.2e-7;
+  m.max_context_tokens = 131072;
+  m.fact_recovery = 0.83;              // RAG answers from context, not
+  m.reasoning_factor = 0.93;            // weights: only ~2% F1 headroom (§7.4).
+  m.api_model = false;
+  m.usd_per_gpu_sec = 0.0005;
+  m.num_gpus = 2;
+  return m;
+}
+
+ModelSpec Gpt4oApi() {
+  ModelSpec m;
+  m.name = "gpt-4o";
+  m.api_model = true;
+  m.fact_recovery = 0.87;
+  m.reasoning_factor = 0.96;
+  m.max_context_tokens = 128000;
+  m.usd_per_1m_input_tokens = 2.50;
+  m.usd_per_1m_output_tokens = 10.00;
+  m.api_rtt_sec = 0.045;
+  m.api_prefill_tokens_per_sec = 12000;
+  m.api_decode_tokens_per_sec = 250;
+  return m;
+}
+
+ModelSpec Llama70BApi() {
+  ModelSpec m;
+  m.name = "llama3.1-70b-api";
+  m.api_model = true;
+  m.fact_recovery = 0.82;
+  m.reasoning_factor = 0.92;
+  m.max_context_tokens = 128000;
+  m.usd_per_1m_input_tokens = 0.90;     // Hosted open-weights pricing.
+  m.usd_per_1m_output_tokens = 0.90;
+  m.api_rtt_sec = 0.07;
+  m.api_prefill_tokens_per_sec = 9000;
+  m.api_decode_tokens_per_sec = 160;
+  return m;
+}
+
+ModelSpec Gpt4oServing() {
+  // GPT-4o used as the *inference* model behind a fixed-config pipeline
+  // (Fig. 13's most expensive comparison). Engine-rate fields describe the
+  // provider's serving fleet; cost is per token, as with any API model.
+  ModelSpec m = Gpt4oApi();
+  m.name = "gpt-4o-serving";
+  m.weight_bytes = 0;
+  m.kv_bytes_per_token = KvBytesPerToken(48, 8, 128);
+  m.prefill_tokens_per_sec = 120000;
+  m.step_overhead_sec = 0.012;
+  m.attn_prefill_coeff = 3e-10;
+  m.attn_decode_coeff = 1e-7;
+  m.num_gpus = 0;
+  return m;
+}
+
+const std::vector<ModelSpec>& ModelCatalog() {
+  static const std::vector<ModelSpec> kCatalog = {Mistral7BAwq(), Llama70BAwq(), Gpt4oApi(),
+                                                  Llama70BApi(), Gpt4oServing()};
+  return kCatalog;
+}
+
+const ModelSpec& GetModelSpec(std::string_view name) {
+  for (const ModelSpec& m : ModelCatalog()) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  METIS_CHECK(false && "unknown model");
+  std::abort();
+}
+
+}  // namespace metis

@@ -1,0 +1,76 @@
+// Model catalog: resource and quality envelopes of the LLMs the paper serves.
+//
+// The reproduction never runs a neural network; a model is its envelope:
+//   - memory:   weight footprint and KV-cache bytes per token (from public
+//               model configs: layers x kv_heads x head_dim x fp16 x 2),
+//   - speed:    prefill token rate, per-step overhead (decode rate), and the
+//               quadratic attention coefficients, calibrated to public A40
+//               serving measurements,
+//   - quality:  base fact-recovery probability and reasoning factor used by
+//               the generation behaviour model,
+//   - price:    $ per token (API models) or $ per GPU-second (self-hosted).
+
+#ifndef METIS_SRC_LLM_MODEL_SPEC_H_
+#define METIS_SRC_LLM_MODEL_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metis {
+
+struct ModelSpec {
+  std::string name;
+
+  // --- Memory ---
+  double weight_bytes = 0;         // Quantized weight footprint.
+  double kv_bytes_per_token = 0;   // fp16 KV cache per token.
+
+  // --- Speed (per engine step) ---
+  double prefill_tokens_per_sec = 0;  // Linear prefill compute rate.
+  double step_overhead_sec = 0;       // Weight-read time; bounds decode rate.
+  // Attention cost: prefilling a token at context position p adds
+  // attn_prefill_coeff * p seconds; each decode step over context L adds
+  // attn_decode_coeff * L seconds. These make long stuff prompts superlinear.
+  double attn_prefill_coeff = 0;
+  double attn_decode_coeff = 0;
+
+  int max_context_tokens = 32768;
+
+  // --- Quality (behaviour model inputs) ---
+  double fact_recovery = 0.85;   // P(recover a clean, salient fact in context).
+  double reasoning_factor = 0.9; // Multiplier on joint-reasoning success.
+
+  // --- Price ---
+  bool api_model = false;         // True: priced per token; false: per GPU-sec.
+  double usd_per_1m_input_tokens = 0;
+  double usd_per_1m_output_tokens = 0;
+  double usd_per_gpu_sec = 0;
+  int num_gpus = 1;
+
+  // API latency model (api_model only): rtt + tokens/rate.
+  double api_rtt_sec = 0;
+  double api_prefill_tokens_per_sec = 0;
+  double api_decode_tokens_per_sec = 0;
+};
+
+// Serving models.
+ModelSpec Mistral7BAwq();    // Primary inference model (1x A40).
+ModelSpec Llama70BAwq();     // Larger inference model (2x A40), Fig. 15.
+// Profiler / comparison API models.
+ModelSpec Gpt4oApi();        // Default profiler.
+ModelSpec Llama70BApi();     // Open-source profiler alternative (Fig. 17).
+ModelSpec Gpt4oServing();    // GPT-4o as the serving model (Fig. 13).
+
+// Catalog lookup by name; aborts on unknown names.
+const ModelSpec& GetModelSpec(std::string_view name);
+const std::vector<ModelSpec>& ModelCatalog();
+
+// KV bytes/token from an architecture (2 * layers * kv_heads * head_dim * 2B).
+double KvBytesPerToken(int layers, int kv_heads, int head_dim);
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace metis
+
+#endif  // METIS_SRC_LLM_MODEL_SPEC_H_

@@ -1,0 +1,44 @@
+#include "src/quality/f1.h"
+
+#include <unordered_map>
+
+#include "src/text/tokenizer.h"
+
+namespace metis {
+
+F1Breakdown TokenF1(const std::vector<std::string>& generated,
+                    const std::vector<std::string>& gold) {
+  F1Breakdown out;
+  out.generated_tokens = generated.size();
+  out.gold_tokens = gold.size();
+  if (generated.empty() || gold.empty()) {
+    return out;
+  }
+
+  std::unordered_map<std::string, int> gold_counts;
+  for (const auto& t : gold) {
+    ++gold_counts[t];
+  }
+  size_t overlap = 0;
+  for (const auto& t : generated) {
+    auto it = gold_counts.find(t);
+    if (it != gold_counts.end() && it->second > 0) {
+      --it->second;
+      ++overlap;
+    }
+  }
+  out.overlap = overlap;
+  if (overlap == 0) {
+    return out;
+  }
+  out.precision = static_cast<double>(overlap) / static_cast<double>(generated.size());
+  out.recall = static_cast<double>(overlap) / static_cast<double>(gold.size());
+  out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  return out;
+}
+
+F1Breakdown TextF1(std::string_view generated, std::string_view gold) {
+  return TokenF1(Tokenize(generated), Tokenize(gold));
+}
+
+}  // namespace metis

@@ -1,0 +1,35 @@
+// Response-quality metric: token-level F1 (paper §2).
+//
+// F1 is the harmonic mean of precision (fraction of generated tokens that are
+// correct) and recall (fraction of ground-truth tokens that were generated),
+// computed over bag-of-token overlap — the standard SQuAD-style definition the
+// paper adopts.
+
+#ifndef METIS_SRC_QUALITY_F1_H_
+#define METIS_SRC_QUALITY_F1_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metis {
+
+struct F1Breakdown {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  size_t overlap = 0;
+  size_t generated_tokens = 0;
+  size_t gold_tokens = 0;
+};
+
+// Multiset token overlap F1 between generated and gold token lists.
+F1Breakdown TokenF1(const std::vector<std::string>& generated,
+                    const std::vector<std::string>& gold);
+
+// Convenience: tokenizes both texts first.
+F1Breakdown TextF1(std::string_view generated, std::string_view gold);
+
+}  // namespace metis
+
+#endif  // METIS_SRC_QUALITY_F1_H_

@@ -1,0 +1,400 @@
+#include "src/runner/runner.h"
+
+#include <map>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace metis {
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kVllmFixed:
+      return "vllm_fixed";
+    case SystemKind::kParrotFixed:
+      return "parrot*";
+    case SystemKind::kAdaptiveRag:
+      return "adaptive_rag*";
+    case SystemKind::kMetis:
+      return "metis";
+  }
+  return "unknown";
+}
+
+double DefaultKvPoolGib(const ModelSpec& model) {
+  // A40 server: 48 GiB/GPU at vLLM's 0.9 utilization, minus quantized weights
+  // and activation workspace, per GPU; tensor-parallel models pool GPUs.
+  double per_gpu = 48.0 * 0.9 - 4.0;
+  double pool = per_gpu * model.num_gpus - model.weight_bytes / kGiB;
+  // The evaluation server co-hosts both serving models plus fragmentation,
+  // activation headroom and worst-case reservations (§7.1), so a deployment
+  // sees ~12% of the residual as usable KV pool — which keeps KV memory a
+  // binding-under-load resource, matching the paper's Fig. 8 regime
+  // (single-digit-GiB free memory against multi-GiB stuff prompts).
+  pool *= 0.12;
+  return std::max(pool, 2.5);
+}
+
+std::shared_ptr<const Dataset> GetOrGenerateDataset(const std::string& dataset_name,
+                                                    int num_queries,
+                                                    const std::string& embedding_model,
+                                                    uint64_t seed) {
+  using Key = std::tuple<std::string, int, std::string, uint64_t>;
+  static std::map<Key, std::shared_ptr<const Dataset>> cache;
+  Key key{dataset_name, num_queries, embedding_model, seed};
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  DatasetGenerator generator(GetDatasetProfile(dataset_name), seed);
+  std::shared_ptr<const Dataset> ds = generator.Generate(num_queries, embedding_model);
+  cache[key] = ds;
+  return ds;
+}
+
+std::vector<RagConfig> FixedConfigMenu(const DatasetProfile& profile) {
+  // A practitioner's grid: every method at small/medium/large retrieval
+  // widths, map_reduce at two intermediate lengths. Hand-picked offline, as
+  // real deployments do (§1).
+  std::vector<int> chunk_grid;
+  if (profile.max_facts <= 2) {
+    chunk_grid = {1, 2, 5, 10};
+  } else {
+    chunk_grid = {2, 5, 10, 20, 30};
+  }
+  std::vector<RagConfig> menu;
+  for (int k : chunk_grid) {
+    menu.push_back(RagConfig{SynthesisMethod::kMapRerank, k, 0});
+    menu.push_back(RagConfig{SynthesisMethod::kStuff, k, 0});
+    menu.push_back(RagConfig{SynthesisMethod::kMapReduce, k, 60});
+    menu.push_back(RagConfig{SynthesisMethod::kMapReduce, k, 150});
+  }
+  return menu;
+}
+
+namespace {
+
+// Per-dataset policy stack sharing one engine + simulator.
+struct DatasetStack {
+  std::shared_ptr<const Dataset> dataset;
+  std::unique_ptr<SynthesisExecutor> executor;
+  std::unique_ptr<ApiLlmClient> profiler_api;
+  std::unique_ptr<QueryProfiler> profiler;
+  std::unique_ptr<JointScheduler> scheduler;
+  std::unique_ptr<ServingSystem> system;
+  std::vector<QueryRecord> records;
+};
+
+struct Stack {
+  Simulator sim;
+  std::unique_ptr<LlmEngine> engine;
+  std::unique_ptr<BehaviorModel> behavior;
+  std::unique_ptr<SynthesisExecutor> executor;
+  std::unique_ptr<ApiLlmClient> profiler_api;
+  std::unique_ptr<QueryProfiler> profiler;
+  std::unique_ptr<JointScheduler> scheduler;
+  std::unique_ptr<ServingSystem> system;
+};
+
+}  // namespace
+
+std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
+  METIS_CHECK(!spec.datasets.empty());
+  METIS_CHECK(!spec.fixed_configs.empty());
+
+  Simulator sim;
+  const ModelSpec& model = GetModelSpec(spec.serving_model);
+  EngineConfig ecfg;
+  ecfg.model = model;
+  double pool_gib = spec.kv_pool_gib > 0 ? spec.kv_pool_gib : DefaultKvPoolGib(model);
+  ecfg.kv_pool_bytes = pool_gib * kGiB;
+  ecfg.max_batched_tokens = spec.max_batched_tokens;
+  bool batching = spec.system == SystemKind::kParrotFixed || spec.system == SystemKind::kMetis;
+  if (spec.override_prefix_sharing.has_value()) {
+    batching = *spec.override_prefix_sharing;
+  }
+  ecfg.prefix_sharing = batching;
+  ecfg.policy = batching ? AdmissionPolicy::kGroupAware : AdmissionPolicy::kFcfs;
+  LlmEngine engine(&sim, ecfg, spec.seed);
+  BehaviorModel behavior(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
+
+  std::vector<DatasetStack> stacks(spec.datasets.size());
+  for (size_t d = 0; d < spec.datasets.size(); ++d) {
+    DatasetStack& ds = stacks[d];
+    ds.dataset = GetOrGenerateDataset(spec.datasets[d], spec.queries_per_dataset,
+                                      spec.embedding_model, spec.seed);
+    ds.executor = std::make_unique<SynthesisExecutor>(&sim, &engine, &behavior,
+                                                      ds.dataset.get(),
+                                                      spec.seed ^ 0x5E1Full);
+    auto sink = [records = &ds.records](QueryRecord rec) { records->push_back(std::move(rec)); };
+
+    RagConfig fixed = spec.fixed_configs[std::min(d, spec.fixed_configs.size() - 1)];
+    const bool needs_profiler =
+        spec.system == SystemKind::kAdaptiveRag || spec.system == SystemKind::kMetis;
+    if (needs_profiler) {
+      ds.profiler_api = std::make_unique<ApiLlmClient>(&sim, GetModelSpec(spec.profiler_model),
+                                                       spec.seed ^ (0xA91ull + d));
+      ProfilerParams pparams = spec.profiler_model == "gpt-4o" ? Gpt4oProfilerParams()
+                                                               : Llama70BProfilerParams();
+      ds.profiler = std::make_unique<QueryProfiler>(&sim, ds.profiler_api.get(),
+                                                    &ds.dataset->db().metadata(), pparams,
+                                                    spec.seed ^ (0x9867ull + d));
+      ds.scheduler = std::make_unique<JointScheduler>(&engine, ds.executor.get(), 10,
+                                                      spec.scheduler);
+    }
+    switch (spec.system) {
+      case SystemKind::kVllmFixed:
+        ds.system = std::make_unique<FixedConfigSystem>(
+            &sim, ds.executor.get(), fixed,
+            StrFormat("vllm[%s]", RagConfigToString(fixed).c_str()), sink);
+        break;
+      case SystemKind::kParrotFixed:
+        ds.system = std::make_unique<FixedConfigSystem>(
+            &sim, ds.executor.get(), fixed,
+            StrFormat("parrot*[%s]", RagConfigToString(fixed).c_str()), sink);
+        break;
+      case SystemKind::kAdaptiveRag:
+        ds.system = std::make_unique<AdaptiveRagSystem>(&sim, ds.executor.get(),
+                                                        ds.profiler.get(), ds.scheduler.get(),
+                                                        sink);
+        break;
+      case SystemKind::kMetis: {
+        MetisSystem::Options opts = spec.metis;
+        opts.output_token_estimate = ds.dataset->profile().max_output_tokens;
+        ds.system = std::make_unique<MetisSystem>(&sim, ds.executor.get(), ds.profiler.get(),
+                                                  ds.scheduler.get(), ds.dataset.get(), opts,
+                                                  sink);
+        break;
+      }
+    }
+  }
+
+  // Independent Poisson arrivals per dataset, all on the shared engine.
+  SimTime first_arrival = -1;
+  for (size_t d = 0; d < spec.datasets.size(); ++d) {
+    std::vector<RagQuery> queries = stacks[d].dataset->queries();
+    AssignPoissonArrivals(queries, spec.rate_per_dataset, spec.seed ^ (0xD00Dull + d));
+    for (const RagQuery& q : queries) {
+      if (first_arrival < 0 || q.arrival_time < first_arrival) {
+        first_arrival = q.arrival_time;
+      }
+      sim.ScheduleAt(q.arrival_time, [sys = stacks[d].system.get(), q]() { sys->Accept(q); });
+    }
+  }
+  sim.Run();
+
+  // --- Aggregate per dataset; engine cost attributed by token share. ---
+  double total_tokens = 0;
+  for (const auto& ds : stacks) {
+    for (const auto& rec : ds.records) {
+      total_tokens += rec.result.total_prompt_tokens + rec.result.total_output_tokens;
+    }
+  }
+  std::vector<RunMetrics> out;
+  for (size_t d = 0; d < spec.datasets.size(); ++d) {
+    DatasetStack& ds = stacks[d];
+    RunMetrics metrics;
+    metrics.label = StrFormat("%s/%s", SystemKindName(spec.system), spec.datasets[d].c_str());
+    SimTime last_finish = first_arrival;
+    double ds_tokens = 0;
+    for (const QueryRecord& rec : ds.records) {
+      metrics.delays.Add(rec.e2e_delay);
+      metrics.f1s.Add(rec.result.f1);
+      if (rec.profiler_delay > 0) {
+        metrics.profiler_delays.Add(rec.profiler_delay);
+        if (rec.e2e_delay > 0) {
+          metrics.profiler_fracs.Add(rec.profiler_delay / rec.e2e_delay);
+        }
+      }
+      last_finish = std::max(last_finish, rec.finish_time);
+      ds_tokens += rec.result.total_prompt_tokens + rec.result.total_output_tokens;
+    }
+    metrics.sim_duration = std::max(1e-9, last_finish - first_arrival);
+    metrics.throughput_qps = static_cast<double>(ds.records.size()) / metrics.sim_duration;
+    metrics.engine_stats = engine.stats();
+    if (model.api_model) {
+      double cost = 0;
+      for (const QueryRecord& rec : ds.records) {
+        cost += rec.result.total_prompt_tokens * model.usd_per_1m_input_tokens / 1e6 +
+                rec.result.total_output_tokens * model.usd_per_1m_output_tokens / 1e6;
+      }
+      metrics.engine_cost_usd = cost;
+    } else {
+      metrics.engine_cost_usd =
+          engine.busy_cost_usd() * (total_tokens > 0 ? ds_tokens / total_tokens : 0);
+    }
+    if (ds.profiler_api) {
+      metrics.profiler_cost_usd = ds.profiler_api->total_cost_usd();
+    }
+    metrics.records = std::move(ds.records);
+    out.push_back(std::move(metrics));
+  }
+  return out;
+}
+
+RunMetrics RunExperiment(const RunSpec& spec) {
+  std::shared_ptr<const Dataset> dataset =
+      GetOrGenerateDataset(spec.dataset, spec.num_queries, spec.embedding_model, spec.seed);
+
+  Stack stack;
+  const ModelSpec& model = GetModelSpec(spec.serving_model);
+
+  EngineConfig ecfg;
+  ecfg.model = model;
+  double pool_gib = spec.kv_pool_gib > 0 ? spec.kv_pool_gib : DefaultKvPoolGib(model);
+  ecfg.kv_pool_bytes = pool_gib * kGiB;
+  ecfg.max_batched_tokens = spec.max_batched_tokens;
+  bool batching = spec.system == SystemKind::kParrotFixed || spec.system == SystemKind::kMetis;
+  if (spec.override_prefix_sharing.has_value()) {
+    batching = *spec.override_prefix_sharing;
+  }
+  ecfg.prefix_sharing = batching;
+  ecfg.policy = batching ? AdmissionPolicy::kGroupAware : AdmissionPolicy::kFcfs;
+  stack.engine = std::make_unique<LlmEngine>(&stack.sim, ecfg, spec.seed);
+
+  stack.behavior = std::make_unique<BehaviorModel>(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
+  stack.executor = std::make_unique<SynthesisExecutor>(&stack.sim, stack.engine.get(),
+                                                       stack.behavior.get(), dataset.get(),
+                                                       spec.seed ^ 0x5E1Full);
+
+  RunMetrics metrics;
+  metrics.spec = spec;
+  metrics.label = SystemKindName(spec.system);
+
+  std::vector<QueryRecord>* records = &metrics.records;
+  auto sink = [records](QueryRecord rec) { records->push_back(std::move(rec)); };
+
+  const bool needs_profiler =
+      spec.system == SystemKind::kAdaptiveRag || spec.system == SystemKind::kMetis;
+  if (needs_profiler) {
+    stack.profiler_api = std::make_unique<ApiLlmClient>(
+        &stack.sim, GetModelSpec(spec.profiler_model), spec.seed ^ 0xA91ull);
+  }
+  ProfilerParams pparams = spec.profiler_model == "gpt-4o" ? Gpt4oProfilerParams()
+                                                           : Llama70BProfilerParams();
+  if (needs_profiler) {
+    stack.profiler = std::make_unique<QueryProfiler>(&stack.sim, stack.profiler_api.get(),
+                                                     &dataset->db().metadata(), pparams,
+                                                     spec.seed ^ 0x9867ull);
+    stack.scheduler = std::make_unique<JointScheduler>(stack.engine.get(),
+                                                       stack.executor.get(), 10,
+                                                       spec.scheduler);
+  }
+
+  switch (spec.system) {
+    case SystemKind::kVllmFixed:
+      stack.system = std::make_unique<FixedConfigSystem>(
+          &stack.sim, stack.executor.get(), spec.fixed_config,
+          StrFormat("vllm[%s]", RagConfigToString(spec.fixed_config).c_str()), sink);
+      break;
+    case SystemKind::kParrotFixed:
+      stack.system = std::make_unique<FixedConfigSystem>(
+          &stack.sim, stack.executor.get(), spec.fixed_config,
+          StrFormat("parrot*[%s]", RagConfigToString(spec.fixed_config).c_str()), sink);
+      break;
+    case SystemKind::kAdaptiveRag:
+      stack.system = std::make_unique<AdaptiveRagSystem>(&stack.sim, stack.executor.get(),
+                                                         stack.profiler.get(),
+                                                         stack.scheduler.get(), sink);
+      break;
+    case SystemKind::kMetis: {
+      MetisSystem::Options opts = spec.metis;
+      opts.output_token_estimate = dataset->profile().max_output_tokens;
+      stack.system = std::make_unique<MetisSystem>(&stack.sim, stack.executor.get(),
+                                                   stack.profiler.get(), stack.scheduler.get(),
+                                                   dataset.get(), opts, sink);
+      break;
+    }
+  }
+
+  // Per-run copy of the queries so arrival times don't leak across runs.
+  std::vector<RagQuery> queries = dataset->queries();
+  SimTime first_arrival = 0;
+
+  if (spec.arrival_rate > 0) {
+    AssignPoissonArrivals(queries, spec.arrival_rate, spec.seed);
+    first_arrival = queries.front().arrival_time;
+    for (const RagQuery& q : queries) {
+      stack.sim.ScheduleAt(q.arrival_time, [sys = stack.system.get(), q]() { sys->Accept(q); });
+    }
+    stack.sim.Run();
+  } else {
+    // Closed loop: one query outstanding at a time (Fig. 19's low load).
+    AssignSequentialArrivals(queries);
+    size_t next = 0;
+    size_t total = queries.size();
+    // Chain Accept calls off completions by polling the record count.
+    std::function<void()> pump = [&]() {
+      if (next >= total) {
+        return;
+      }
+      size_t expected = metrics.records.size() + 1;
+      stack.system->Accept(queries[next++]);
+      stack.sim.Run();  // Drain until this query (and its events) complete.
+      METIS_CHECK_GE(metrics.records.size(), expected);
+    };
+    while (next < total) {
+      pump();
+    }
+  }
+  stack.sim.Run();
+
+  // --- Aggregate ---
+  SimTime last_finish = first_arrival;
+  for (const QueryRecord& rec : metrics.records) {
+    metrics.delays.Add(rec.e2e_delay);
+    metrics.f1s.Add(rec.result.f1);
+    if (rec.profiler_delay > 0) {
+      metrics.profiler_delays.Add(rec.profiler_delay);
+      if (rec.e2e_delay > 0) {
+        metrics.profiler_fracs.Add(rec.profiler_delay / rec.e2e_delay);
+      }
+    }
+    last_finish = std::max(last_finish, rec.finish_time);
+  }
+  metrics.sim_duration = std::max(1e-9, last_finish - first_arrival);
+  metrics.throughput_qps =
+      static_cast<double>(metrics.records.size()) / metrics.sim_duration;
+  metrics.engine_stats = stack.engine->stats();
+
+  if (model.api_model) {
+    // API-served inference (the Fig. 13 GPT-4o comparison): per-token price.
+    double cost = 0;
+    for (const QueryRecord& rec : metrics.records) {
+      cost += rec.result.total_prompt_tokens * model.usd_per_1m_input_tokens / 1e6 +
+              rec.result.total_output_tokens * model.usd_per_1m_output_tokens / 1e6;
+    }
+    metrics.engine_cost_usd = cost;
+  } else {
+    metrics.engine_cost_usd = stack.engine->busy_cost_usd();
+  }
+  if (stack.profiler_api) {
+    metrics.profiler_cost_usd = stack.profiler_api->total_cost_usd();
+  }
+  return metrics;
+}
+
+RagResult RunSingleQuery(const Dataset& dataset, const RagQuery& query, const RagConfig& config,
+                         const std::string& serving_model, uint64_t seed) {
+  Simulator sim;
+  const ModelSpec& model = GetModelSpec(serving_model);
+  EngineConfig ecfg;
+  ecfg.model = model;
+  ecfg.kv_pool_bytes = DefaultKvPoolGib(model) * kGiB;
+  LlmEngine engine(&sim, ecfg, seed);
+  BehaviorModel behavior(BehaviorParams{}, seed ^ 0xBE4A11ull);
+  SynthesisExecutor executor(&sim, &engine, &behavior, &dataset, seed ^ 0x5E1Full);
+
+  RagResult out;
+  bool finished = false;
+  executor.Execute(query, config, [&](RagResult r) {
+    out = std::move(r);
+    finished = true;
+  });
+  sim.Run();
+  METIS_CHECK(finished);
+  return out;
+}
+
+}  // namespace metis

@@ -1,0 +1,133 @@
+// Experiment runner: builds a full serving stack (dataset -> vector DB ->
+// engine -> system) inside one simulation and measures what the paper's
+// evaluation measures. Shared by every bench binary and example.
+
+#ifndef METIS_SRC_RUNNER_RUNNER_H_
+#define METIS_SRC_RUNNER_RUNNER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/core/systems.h"
+#include "src/llm/behavior.h"
+#include "src/llm/engine.h"
+#include "src/profiler/profiler.h"
+#include "src/synthesis/synthesis.h"
+#include "src/workload/dataset.h"
+
+namespace metis {
+
+enum class SystemKind {
+  kVllmFixed,    // vLLM baseline: static config, FCFS, no prefix sharing.
+  kParrotFixed,  // Parrot*: static config + group-aware batching + prefixes.
+  kAdaptiveRag,  // AdaptiveRAG*: per-query quality-max config on vLLM.
+  kMetis,        // Full METIS (options configurable).
+};
+
+const char* SystemKindName(SystemKind kind);
+
+struct RunSpec {
+  std::string dataset = "musique";
+  int num_queries = 200;
+  // Open-loop Poisson rate (queries/sec); <= 0 runs closed-loop sequential
+  // (one query in flight at a time — the paper's low-load setup, Fig. 19).
+  double arrival_rate = 2.0;
+
+  std::string serving_model = "mistral-7b-v3-awq";
+  // KV pool (GiB); < 0 derives a default from the model.
+  double kv_pool_gib = -1;
+  int max_batched_tokens = 2048;
+  std::string embedding_model = "cohere-embed-v3-sim";
+  std::string profiler_model = "gpt-4o";
+
+  SystemKind system = SystemKind::kMetis;
+  RagConfig fixed_config{SynthesisMethod::kStuff, 10, 100};
+  MetisSystem::Options metis;
+  JointSchedulerOptions scheduler;  // Design-ablation switches (§ DESIGN.md 5).
+  // Forces engine batching features regardless of the system default
+  // (used by the Fig. 12 ablation to stage batching separately).
+  std::optional<bool> override_prefix_sharing;
+
+  uint64_t seed = 42;
+};
+
+struct RunMetrics {
+  std::string label;
+  RunSpec spec;
+
+  Samples delays;           // End-to-end per-query delay (s).
+  Samples f1s;              // Per-query token F1.
+  Samples profiler_delays;  // Per-query profiler latency (s); 0 for fixed.
+  Samples profiler_fracs;   // profiler_delay / e2e_delay.
+
+  double mean_delay() const { return delays.mean(); }
+  double p90_delay() const { return delays.empty() ? 0 : delays.p90(); }
+  double mean_f1() const { return f1s.mean(); }
+
+  double sim_duration = 0;    // First arrival to last completion (s).
+  double throughput_qps = 0;  // Completed queries / sim_duration.
+  double engine_cost_usd = 0;
+  double profiler_cost_usd = 0;
+  double total_cost_usd() const { return engine_cost_usd + profiler_cost_usd; }
+
+  EngineStats engine_stats;
+  std::vector<QueryRecord> records;
+};
+
+// Runs one full experiment. Deterministic for a given spec.
+RunMetrics RunExperiment(const RunSpec& spec);
+
+// Mixed-workload experiment: the paper's §7.1 setup sends all datasets
+// *concurrently* to one serving engine (Poisson, `rate_per_dataset` each) and
+// reports results per dataset. The shared engine is where cross-dataset
+// contention — and METIS's resource-aware adaptation — plays out.
+struct MixedRunSpec {
+  std::vector<std::string> datasets = {"squad", "musique", "kg_rag_finsec", "qmsum"};
+  int queries_per_dataset = 200;
+  double rate_per_dataset = 2.0;
+
+  std::string serving_model = "mistral-7b-v3-awq";
+  double kv_pool_gib = -1;
+  int max_batched_tokens = 2048;
+  std::string embedding_model = "cohere-embed-v3-sim";
+  std::string profiler_model = "gpt-4o";
+
+  SystemKind system = SystemKind::kMetis;
+  // Fixed-config baselines may use a different hand-picked config per dataset
+  // (aligned with `datasets`); a single entry applies to all.
+  std::vector<RagConfig> fixed_configs = {RagConfig{SynthesisMethod::kStuff, 10, 100}};
+  MetisSystem::Options metis;
+  JointSchedulerOptions scheduler;  // Design-ablation switches (§ DESIGN.md 5).
+  std::optional<bool> override_prefix_sharing;
+
+  uint64_t seed = 42;
+};
+
+// Returns one RunMetrics per dataset (order matches spec.datasets). Engine
+// stats are global; engine cost is attributed by processed-token share.
+std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec);
+
+// Shared dataset cache: generation is deterministic per (profile, seed,
+// embedder, num_queries), so benches sweeping configs reuse the corpus.
+std::shared_ptr<const Dataset> GetOrGenerateDataset(const std::string& dataset_name,
+                                                    int num_queries,
+                                                    const std::string& embedding_model,
+                                                    uint64_t seed);
+
+// Runs a single query in isolation (idle engine, no queueing) and returns the
+// result — the probe the Fig. 4 / Fig. 5 per-knob sweeps use.
+RagResult RunSingleQuery(const Dataset& dataset, const RagQuery& query, const RagConfig& config,
+                         const std::string& serving_model, uint64_t seed);
+
+// The static-configuration menu the fixed-config baselines sweep over.
+std::vector<RagConfig> FixedConfigMenu(const DatasetProfile& profile);
+
+// Default KV pool (GiB) for a serving model on the paper's A40 server.
+double DefaultKvPoolGib(const ModelSpec& model);
+
+}  // namespace metis
+
+#endif  // METIS_SRC_RUNNER_RUNNER_H_

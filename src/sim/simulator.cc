@@ -1,0 +1,47 @@
+#include "src/sim/simulator.h"
+
+#include "src/common/check.h"
+
+namespace metis {
+
+EventHandle Simulator::ScheduleAt(SimTime when, Callback cb) {
+  METIS_CHECK_GE(when, now_);
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(cb), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulator::ScheduleAfter(SimTime delay, Callback cb) {
+  METIS_CHECK_GE(delay, 0.0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (e.state && e.state->cancelled) {
+      continue;
+    }
+    now_ = e.when;
+    ++executed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::Run(SimTime horizon) {
+  size_t n = 0;
+  while (!queue_.empty()) {
+    if (horizon >= 0 && queue_.top().when > horizon) {
+      break;
+    }
+    if (Step()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace metis

@@ -1,0 +1,389 @@
+#include "src/synthesis/synthesis.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/text/tokenizer.h"
+
+namespace metis {
+
+struct SynthesisExecutor::ChunkFacts {
+  ChunkId chunk_id = -1;
+  std::vector<FactInContext> facts;  // position_frac left as offset-in-chunk.
+  std::vector<int> offsets;          // Token offset of each fact in the chunk.
+};
+
+SynthesisExecutor::SynthesisExecutor(Simulator* sim, LlmEngine* engine,
+                                     const BehaviorModel* behavior, const Dataset* dataset,
+                                     uint64_t seed)
+    : sim_(sim), engine_(engine), behavior_(behavior), dataset_(dataset), seed_(seed) {
+  METIS_CHECK(sim != nullptr);
+  METIS_CHECK(engine != nullptr);
+  METIS_CHECK(behavior != nullptr);
+  METIS_CHECK(dataset != nullptr);
+}
+
+int SynthesisExecutor::StuffPromptTokens(int query_tokens, int num_chunks) const {
+  return kInstructionTokens + query_tokens + num_chunks * dataset_->profile().chunk_tokens;
+}
+
+int SynthesisExecutor::MapperPromptTokens(int query_tokens) const {
+  return kInstructionTokens + query_tokens + dataset_->profile().chunk_tokens;
+}
+
+int SynthesisExecutor::ReducePromptTokens(int query_tokens, int num_chunks,
+                                          int intermediate_tokens) const {
+  return kInstructionTokens + query_tokens + num_chunks * intermediate_tokens;
+}
+
+uint64_t SynthesisExecutor::TaskSalt(const RagQuery& query, const RagConfig& config,
+                                     const char* stage, int index) const {
+  return HashString64(StrFormat("q%d:%s:k%d:L%d:%s:%d", query.id,
+                                SynthesisMethodName(config.method), config.num_chunks,
+                                config.intermediate_tokens, stage, index)) ^
+         seed_;
+}
+
+SynthesisExecutor::ChunkFacts SynthesisExecutor::DescribeChunk(const RagQuery& query,
+                                                               ChunkId chunk_id) const {
+  ChunkFacts out;
+  out.chunk_id = chunk_id;
+  const Chunk& chunk = dataset_->db().chunk(chunk_id);
+  std::unordered_set<std::string> query_tokens;
+  for (const auto& t : Tokenize(query.text)) {
+    query_tokens.insert(t);
+  }
+
+  for (int32_t fid : chunk.fact_ids) {
+    const Fact& fact = dataset_->fact(fid);
+    FactInContext f;
+    f.fact_id = fid;
+    f.answer_tokens = fact.answer_tokens;
+    f.relevant = fact.gold && fact.query_id == query.id;
+    // Salience: how strongly the fact's entity anchors match the query text.
+    int matched = 0;
+    for (const auto& e : fact.entity_words) {
+      if (query_tokens.count(e) > 0) {
+        ++matched;
+      }
+    }
+    double frac = fact.entity_words.empty()
+                      ? 0.0
+                      : static_cast<double>(matched) / static_cast<double>(fact.entity_words.size());
+    f.salience = std::clamp(0.15 + 0.85 * frac, 0.0, 1.0);
+    out.facts.push_back(std::move(f));
+    out.offsets.push_back(fact.offset_tokens);
+  }
+  return out;
+}
+
+RagResult SynthesisExecutor::Finalize(const RagQuery& query, const RagConfig& config,
+                                      SimTime exec_start, const std::string& answer_text) const {
+  RagResult r;
+  r.query_id = query.id;
+  r.config = config;
+  r.answer_text = answer_text;
+  r.exec_start = exec_start;
+  r.finish_time = sim_->now();
+  F1Breakdown f1 = TokenF1(Tokenize(answer_text), query.gold_answer_tokens);
+  r.f1 = f1.f1;
+  r.precision = f1.precision;
+  r.recall = f1.recall;
+  return r;
+}
+
+void SynthesisExecutor::Execute(const RagQuery& query, const RagConfig& config,
+                                std::function<void(RagResult)> done) {
+  METIS_CHECK(done != nullptr);
+  RagConfig cfg = config;
+  cfg.num_chunks = std::clamp(cfg.num_chunks, 1,
+                              static_cast<int>(dataset_->db().num_chunks()));
+  if (cfg.method == SynthesisMethod::kStuff) {
+    // A stuff prompt must fit the model's context window (with headroom for
+    // the instruction, query and generation) — real pipelines truncate here.
+    int budget = static_cast<int>(engine_->model().max_context_tokens * 0.9) -
+                 kInstructionTokens - static_cast<int>(CountTokens(query.text));
+    int max_k = std::max(1, budget / dataset_->profile().chunk_tokens);
+    cfg.num_chunks = std::min(cfg.num_chunks, max_k);
+  }
+  cfg.intermediate_tokens = std::max(cfg.intermediate_tokens, 1);
+  switch (cfg.method) {
+    case SynthesisMethod::kStuff:
+      RunStuff(query, cfg, std::move(done));
+      return;
+    case SynthesisMethod::kMapRerank:
+      RunMapRerank(query, cfg, std::move(done));
+      return;
+    case SynthesisMethod::kMapReduce:
+      RunMapReduce(query, cfg, std::move(done));
+      return;
+  }
+  METIS_CHECK(false && "unreachable");
+}
+
+namespace {
+
+// Counts how many of the query's gold facts appear in the retrieved set.
+int CountGoldCoverage(const Dataset& dataset, const RagQuery& query,
+                      const std::vector<ChunkId>& chunks) {
+  std::unordered_set<ChunkId> set(chunks.begin(), chunks.end());
+  int covered = 0;
+  for (int32_t fid : query.gold_fact_ids) {
+    if (set.count(dataset.fact(fid).chunk_id) > 0) {
+      ++covered;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
+                                 std::function<void(RagResult)> done) {
+  SimTime exec_start = sim_->now();
+  sim_->ScheduleAfter(kRetrievalSeconds, [this, query, config, exec_start,
+                                          done = std::move(done)]() mutable {
+    std::vector<ChunkId> chunks = dataset_->db().Retrieve(query.text,
+                                                          static_cast<size_t>(config.num_chunks));
+    int query_tokens = static_cast<int>(CountTokens(query.text));
+    int chunk_tokens = dataset_->profile().chunk_tokens;
+    int prompt_tokens = StuffPromptTokens(query_tokens, static_cast<int>(chunks.size()));
+
+    GenerationTask task;
+    task.mode = GenerationMode::kAnswer;
+    task.context_tokens = prompt_tokens;
+    task.require_joint = query.requires_joint;
+    task.high_complexity = query.high_complexity;
+    task.num_required_facts = query.num_facts;
+    task.conclusion_tokens = query.conclusion_tokens;
+    task.target_output_tokens = query.target_output_tokens;
+    task.rng_salt = TaskSalt(query, config, "stuff", 0);
+
+    int header = kInstructionTokens + query_tokens;
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      ChunkFacts cf = DescribeChunk(query, chunks[ci]);
+      for (size_t fi = 0; fi < cf.facts.size(); ++fi) {
+        FactInContext f = cf.facts[fi];
+        f.position_frac = static_cast<double>(header + static_cast<int>(ci) * chunk_tokens +
+                                              cf.offsets[fi]) /
+                          static_cast<double>(prompt_tokens);
+        task.facts.push_back(std::move(f));
+      }
+    }
+
+    GenerationResult gen = behavior_->Generate(engine_->model(), task);
+
+    int coverage = CountGoldCoverage(*dataset_, query, chunks);
+    InferenceRequest req;
+    req.tag = StrFormat("q%d-stuff", query.id);
+    req.prompt_tokens = prompt_tokens;
+    req.output_tokens = std::max(1, gen.output_tokens);
+    req.on_complete = [this, query, config, exec_start, coverage, chunks_n = chunks.size(),
+                       text = gen.text, done = std::move(done)](const RequestTiming& t) {
+      RagResult r = Finalize(query, config, exec_start, text);
+      r.llm_calls = 1;
+      r.total_prompt_tokens = t.prompt_tokens;
+      r.total_output_tokens = t.output_tokens;
+      r.retrieved_chunks = static_cast<int>(chunks_n);
+      r.gold_facts_retrieved = coverage;
+      r.gold_facts_total = static_cast<int>(query.gold_fact_ids.size());
+      done(std::move(r));
+    };
+    engine_->Submit(std::move(req));
+  });
+}
+
+void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& config,
+                                     std::function<void(RagResult)> done) {
+  SimTime exec_start = sim_->now();
+  sim_->ScheduleAfter(kRetrievalSeconds, [this, query, config, exec_start,
+                                          done = std::move(done)]() mutable {
+    std::vector<ChunkId> chunks = dataset_->db().Retrieve(query.text,
+                                                          static_cast<size_t>(config.num_chunks));
+    int query_tokens = static_cast<int>(CountTokens(query.text));
+    int prompt_tokens = MapperPromptTokens(query_tokens);
+    uint64_t prefix_group = 0x52524Bull ^ (static_cast<uint64_t>(query.id) << 8) ^ seed_;
+    int shared_prefix = kInstructionTokens + query_tokens;
+
+    struct State {
+      int outstanding = 0;
+      double best_confidence = -1;
+      std::string best_text;
+      int llm_calls = 0;
+      int prompt_total = 0;
+      int output_total = 0;
+      std::function<void(RagResult)> done;
+    };
+    auto state = std::make_shared<State>();
+    state->outstanding = static_cast<int>(chunks.size());
+    state->done = std::move(done);
+    int coverage = CountGoldCoverage(*dataset_, query, chunks);
+
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      ChunkFacts cf = DescribeChunk(query, chunks[ci]);
+      GenerationTask task;
+      task.mode = GenerationMode::kAnswer;
+      task.context_tokens = prompt_tokens;
+      task.require_joint = query.requires_joint;
+      task.high_complexity = query.high_complexity;
+      task.num_required_facts = query.num_facts;
+      task.conclusion_tokens = query.conclusion_tokens;
+      task.target_output_tokens = query.target_output_tokens;
+      task.rng_salt = TaskSalt(query, config, "rerank", static_cast<int>(ci));
+      int header = kInstructionTokens + query_tokens;
+      for (size_t fi = 0; fi < cf.facts.size(); ++fi) {
+        FactInContext f = cf.facts[fi];
+        f.position_frac =
+            static_cast<double>(header + cf.offsets[fi]) / static_cast<double>(prompt_tokens);
+        task.facts.push_back(std::move(f));
+      }
+      GenerationResult gen = behavior_->Generate(engine_->model(), task);
+
+      InferenceRequest req;
+      req.tag = StrFormat("q%d-rerank-%zu", query.id, ci);
+      req.prompt_tokens = prompt_tokens;
+      req.output_tokens = std::max(1, gen.output_tokens);
+      req.prefix_group = prefix_group;
+      req.shared_prefix_tokens = shared_prefix;
+      req.on_complete = [this, query, config, exec_start, state, coverage,
+                         chunks_n = chunks.size(), confidence = gen.confidence,
+                         text = gen.text](const RequestTiming& t) {
+        state->llm_calls += 1;
+        state->prompt_total += t.prompt_tokens;
+        state->output_total += t.output_tokens;
+        if (confidence > state->best_confidence) {
+          state->best_confidence = confidence;
+          state->best_text = text;
+        }
+        if (--state->outstanding == 0) {
+          RagResult r = Finalize(query, config, exec_start, state->best_text);
+          r.llm_calls = state->llm_calls;
+          r.total_prompt_tokens = state->prompt_total;
+          r.total_output_tokens = state->output_total;
+          r.retrieved_chunks = static_cast<int>(chunks_n);
+          r.gold_facts_retrieved = coverage;
+          r.gold_facts_total = static_cast<int>(query.gold_fact_ids.size());
+          state->done(std::move(r));
+        }
+      };
+      engine_->Submit(std::move(req));
+    }
+  });
+}
+
+void SynthesisExecutor::RunMapReduce(const RagQuery& query, const RagConfig& config,
+                                     std::function<void(RagResult)> done) {
+  SimTime exec_start = sim_->now();
+  sim_->ScheduleAfter(kRetrievalSeconds, [this, query, config, exec_start,
+                                          done = std::move(done)]() mutable {
+    std::vector<ChunkId> chunks = dataset_->db().Retrieve(query.text,
+                                                          static_cast<size_t>(config.num_chunks));
+    int query_tokens = static_cast<int>(CountTokens(query.text));
+    int mapper_prompt = MapperPromptTokens(query_tokens);
+    uint64_t prefix_group = 0x4D4152ull ^ (static_cast<uint64_t>(query.id) << 8) ^ seed_;
+    int shared_prefix = kInstructionTokens + query_tokens;
+
+    struct MapOut {
+      std::vector<FactInContext> facts;
+      int output_tokens = 0;
+    };
+    struct State {
+      int outstanding = 0;
+      std::vector<MapOut> outs;
+      int llm_calls = 0;
+      int prompt_total = 0;
+      int output_total = 0;
+      std::function<void(RagResult)> done;
+    };
+    auto state = std::make_shared<State>();
+    state->outstanding = static_cast<int>(chunks.size());
+    state->outs.resize(chunks.size());
+    state->done = std::move(done);
+    int coverage = CountGoldCoverage(*dataset_, query, chunks);
+
+    auto launch_reduce = [this, query, config, exec_start, state, coverage,
+                          query_tokens, chunks_n = chunks.size()]() {
+      // Concatenate summaries in chunk order; facts land at their summary's
+      // offset in a short, denoised context.
+      int header = kInstructionTokens + query_tokens;
+      int total = header;
+      for (const auto& o : state->outs) {
+        total += o.output_tokens;
+      }
+      GenerationTask task;
+      task.mode = GenerationMode::kAnswer;
+      task.context_tokens = total;
+      task.require_joint = query.requires_joint;
+      task.high_complexity = query.high_complexity;
+      task.num_required_facts = query.num_facts;
+      task.conclusion_tokens = query.conclusion_tokens;
+      task.target_output_tokens = query.target_output_tokens;
+      task.rng_salt = TaskSalt(query, config, "reduce", 0);
+      int offset = header;
+      for (const auto& o : state->outs) {
+        for (const FactInContext& f : o.facts) {
+          FactInContext placed = f;
+          placed.position_frac = static_cast<double>(offset) / static_cast<double>(total);
+          task.facts.push_back(std::move(placed));
+        }
+        offset += o.output_tokens;
+      }
+      GenerationResult gen = behavior_->Generate(engine_->model(), task);
+
+      InferenceRequest req;
+      req.tag = StrFormat("q%d-reduce", query.id);
+      req.prompt_tokens = std::max(1, total);
+      req.output_tokens = std::max(1, gen.output_tokens);
+      req.on_complete = [this, query, config, exec_start, state, coverage, chunks_n,
+                         text = gen.text](const RequestTiming& t) {
+        state->llm_calls += 1;
+        state->prompt_total += t.prompt_tokens;
+        state->output_total += t.output_tokens;
+        RagResult r = Finalize(query, config, exec_start, text);
+        r.llm_calls = state->llm_calls;
+        r.total_prompt_tokens = state->prompt_total;
+        r.total_output_tokens = state->output_total;
+        r.retrieved_chunks = static_cast<int>(chunks_n);
+        r.gold_facts_retrieved = coverage;
+        r.gold_facts_total = static_cast<int>(query.gold_fact_ids.size());
+        state->done(std::move(r));
+      };
+      engine_->Submit(std::move(req));
+    };
+
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      ChunkFacts cf = DescribeChunk(query, chunks[ci]);
+      GenerationTask task;
+      task.mode = GenerationMode::kSummarize;
+      task.context_tokens = mapper_prompt;
+      task.summary_budget_tokens = config.intermediate_tokens;
+      task.rng_salt = TaskSalt(query, config, "map", static_cast<int>(ci));
+      task.facts = cf.facts;  // Position inside one chunk barely matters.
+      GenerationResult gen = behavior_->Generate(engine_->model(), task);
+
+      InferenceRequest req;
+      req.tag = StrFormat("q%d-map-%zu", query.id, ci);
+      req.prompt_tokens = mapper_prompt;
+      req.output_tokens = std::max(1, gen.output_tokens);
+      req.prefix_group = prefix_group;
+      req.shared_prefix_tokens = shared_prefix;
+      req.on_complete = [state, ci, facts = gen.expressed_facts,
+                         launch_reduce](const RequestTiming& t) {
+        state->llm_calls += 1;
+        state->prompt_total += t.prompt_tokens;
+        state->output_total += t.output_tokens;
+        state->outs[ci].facts = facts;
+        state->outs[ci].output_tokens = t.output_tokens;
+        if (--state->outstanding == 0) {
+          launch_reduce();
+        }
+      };
+      engine_->Submit(std::move(req));
+    }
+  });
+}
+
+}  // namespace metis

@@ -1,0 +1,41 @@
+#include "src/text/tokenizer.h"
+
+#include "src/common/strings.h"
+
+namespace metis {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  for (const std::string& raw : SplitWords(text)) {
+    std::string_view stripped = StripPunct(raw);
+    if (!stripped.empty()) {
+      out.push_back(ToLowerAscii(stripped));
+    }
+  }
+  return out;
+}
+
+size_t CountTokens(std::string_view text) {
+  size_t n = 0;
+  bool in_token = false;
+  for (char c : text) {
+    bool ws = (c == ' ' || c == '\t' || c == '\n' || c == '\r');
+    if (!ws && !in_token) {
+      ++n;
+      in_token = true;
+    } else if (ws) {
+      in_token = false;
+    }
+  }
+  return n;
+}
+
+std::string TruncateTokens(std::string_view text, size_t max_tokens) {
+  std::vector<std::string> words = SplitWords(text);
+  if (words.size() > max_tokens) {
+    words.resize(max_tokens);
+  }
+  return Join(words, " ");
+}
+
+}  // namespace metis

@@ -1,0 +1,27 @@
+// Tokenization for the synthetic corpus.
+//
+// The paper's pipeline counts tokens for chunking, memory sizing, and F1. We
+// use word-level tokens: the synthetic vocabulary is built from word-like
+// strings, so words == tokens keeps the whole pipeline self-consistent.
+
+#ifndef METIS_SRC_TEXT_TOKENIZER_H_
+#define METIS_SRC_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metis {
+
+// Lowercases, strips surrounding punctuation, splits on whitespace.
+std::vector<std::string> Tokenize(std::string_view text);
+
+// Number of tokens Tokenize() would return, without materializing them.
+size_t CountTokens(std::string_view text);
+
+// Truncates `text` to at most `max_tokens` tokens (joined by single spaces).
+std::string TruncateTokens(std::string_view text, size_t max_tokens);
+
+}  // namespace metis
+
+#endif  // METIS_SRC_TEXT_TOKENIZER_H_

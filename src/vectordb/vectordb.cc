@@ -1,0 +1,193 @@
+#include "src/vectordb/vectordb.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace metis {
+
+namespace {
+
+// Shared top-k selection over (id, distance) candidates.
+std::vector<SearchHit> TopK(std::vector<SearchHit> hits, size_t k) {
+  std::stable_sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    return a.distance < b.distance;
+  });
+  if (hits.size() > k) {
+    hits.resize(k);
+  }
+  return hits;
+}
+
+}  // namespace
+
+FlatL2Index::FlatL2Index(size_t dim) : dim_(dim) { METIS_CHECK_GT(dim, 0u); }
+
+void FlatL2Index::Add(ChunkId id, const Embedding& v) {
+  METIS_CHECK_EQ(v.size(), dim_);
+  ids_.push_back(id);
+  data_.insert(data_.end(), v.begin(), v.end());
+}
+
+std::vector<SearchHit> FlatL2Index::Search(const Embedding& query, size_t k) const {
+  METIS_CHECK_EQ(query.size(), dim_);
+  std::vector<SearchHit> hits;
+  hits.reserve(ids_.size());
+  for (size_t row = 0; row < ids_.size(); ++row) {
+    const float* p = &data_[row * dim_];
+    double d = 0;
+    for (size_t j = 0; j < dim_; ++j) {
+      double diff = static_cast<double>(p[j]) - query[j];
+      d += diff * diff;
+    }
+    hits.push_back(SearchHit{ids_[row], static_cast<float>(d)});
+  }
+  return TopK(std::move(hits), k);
+}
+
+IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed)
+    : dim_(dim), nlist_(nlist), nprobe_(std::min(nprobe, nlist)), seed_(seed) {
+  METIS_CHECK_GT(dim, 0u);
+  METIS_CHECK_GT(nlist, 0u);
+  METIS_CHECK_GT(nprobe, 0u);
+}
+
+void IvfL2Index::Add(ChunkId id, const Embedding& v) {
+  METIS_CHECK_EQ(v.size(), dim_);
+  if (!trained_) {
+    staged_.emplace_back(id, v);
+    return;
+  }
+  lists_[NearestCentroid(v)].push_back(ListEntry{id, v});
+}
+
+size_t IvfL2Index::size() const {
+  size_t n = staged_.size();
+  for (const auto& l : lists_) {
+    n += l.size();
+  }
+  return n;
+}
+
+size_t IvfL2Index::NearestCentroid(const Embedding& v) const {
+  size_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    float d = L2DistanceSquared(centroids_[c], v);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void IvfL2Index::Train() {
+  METIS_CHECK(!trained_);
+  METIS_CHECK(!staged_.empty());
+  size_t nlist = std::min(nlist_, staged_.size());
+
+  // k-means++ style seeding from a deterministic stream, then Lloyd rounds.
+  Rng rng(seed_);
+  centroids_.clear();
+  centroids_.push_back(staged_[rng.Index(staged_.size())].second);
+  while (centroids_.size() < nlist) {
+    // Pick the staged vector farthest from its nearest centroid (deterministic
+    // farthest-point seeding approximates k-means++ well enough here).
+    size_t best_i = 0;
+    float best_d = -1;
+    for (size_t i = 0; i < staged_.size(); ++i) {
+      float d = std::numeric_limits<float>::max();
+      for (const auto& c : centroids_) {
+        d = std::min(d, L2DistanceSquared(c, staged_[i].second));
+      }
+      if (d > best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    centroids_.push_back(staged_[best_i].second);
+  }
+
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Embedding> sums(centroids_.size(), Embedding(dim_, 0));
+    std::vector<size_t> counts(centroids_.size(), 0);
+    for (const auto& [id, v] : staged_) {
+      size_t c = NearestCentroid(v);
+      for (size_t j = 0; j < dim_; ++j) {
+        sums[c][j] += v[j];
+      }
+      ++counts[c];
+    }
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] > 0) {
+        for (size_t j = 0; j < dim_; ++j) {
+          centroids_[c][j] = sums[c][j] / static_cast<float>(counts[c]);
+        }
+      }
+    }
+  }
+
+  lists_.assign(centroids_.size(), {});
+  for (auto& [id, v] : staged_) {
+    lists_[NearestCentroid(v)].push_back(ListEntry{id, std::move(v)});
+  }
+  staged_.clear();
+  trained_ = true;
+}
+
+std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k) const {
+  METIS_CHECK(trained_);
+  METIS_CHECK_EQ(query.size(), dim_);
+
+  // Rank lists by centroid distance; probe the closest nprobe lists.
+  std::vector<std::pair<float, size_t>> order;
+  order.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    order.emplace_back(L2DistanceSquared(centroids_[c], query), c);
+  }
+  std::stable_sort(order.begin(), order.end());
+
+  std::vector<SearchHit> hits;
+  size_t probes = std::min(nprobe_, order.size());
+  for (size_t p = 0; p < probes; ++p) {
+    for (const auto& entry : lists_[order[p].second]) {
+      hits.push_back(SearchHit{entry.id, L2DistanceSquared(entry.v, query)});
+    }
+  }
+  return TopK(std::move(hits), k);
+}
+
+VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata)
+    : embedder_(std::move(embedder)), metadata_(std::move(metadata)), index_(embedder_.dim()) {}
+
+ChunkId VectorDatabase::AddChunk(Chunk chunk) {
+  chunk.id = static_cast<ChunkId>(chunks_.size());
+  index_.Add(chunk.id, embedder_.Embed(chunk.text));
+  chunks_.push_back(std::move(chunk));
+  return chunks_.back().id;
+}
+
+std::vector<SearchHit> VectorDatabase::RetrieveWithDistances(const std::string& query_text,
+                                                             size_t k) const {
+  return index_.Search(embedder_.Embed(query_text), k);
+}
+
+std::vector<ChunkId> VectorDatabase::Retrieve(const std::string& query_text, size_t k) const {
+  std::vector<ChunkId> ids;
+  for (const SearchHit& hit : RetrieveWithDistances(query_text, k)) {
+    ids.push_back(hit.id);
+  }
+  return ids;
+}
+
+const Chunk& VectorDatabase::chunk(ChunkId id) const {
+  METIS_CHECK_GE(id, 0);
+  METIS_CHECK_LT(static_cast<size_t>(id), chunks_.size());
+  return chunks_[static_cast<size_t>(id)];
+}
+
+}  // namespace metis

@@ -1,0 +1,132 @@
+// Vector database: chunk store + similarity index.
+//
+// Mirrors the paper's retrieval substrate (FAISS IndexFlatL2 over
+// Cohere-embed-v3 chunk embeddings, §6): documents are split into fixed-size
+// token chunks, each chunk is embedded, and queries retrieve top-k chunks by
+// exact L2 distance. An IVF index is provided as an optional accelerated
+// backend; both return identical results on the workloads used here.
+
+#ifndef METIS_SRC_VECTORDB_VECTORDB_H_
+#define METIS_SRC_VECTORDB_VECTORDB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/embed/embedding.h"
+
+namespace metis {
+
+using ChunkId = int32_t;
+
+struct Chunk {
+  ChunkId id = -1;
+  int32_t doc_id = -1;
+  std::string text;
+  int32_t token_count = 0;
+  // Ids of workload facts contained in this chunk (empty for pure noise).
+  std::vector<int32_t> fact_ids;
+};
+
+// Search hit: chunk id plus L2^2 distance (lower is closer).
+struct SearchHit {
+  ChunkId id = -1;
+  float distance = 0;
+};
+
+// Interface shared by index implementations.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual void Add(ChunkId id, const Embedding& v) = 0;
+  // Returns up to k nearest ids by L2 distance, closest first; ties broken by
+  // insertion order for determinism.
+  virtual std::vector<SearchHit> Search(const Embedding& query, size_t k) const = 0;
+  virtual size_t size() const = 0;
+};
+
+// Exact brute-force L2 index (FAISS IndexFlatL2 equivalent).
+class FlatL2Index : public VectorIndex {
+ public:
+  explicit FlatL2Index(size_t dim);
+
+  void Add(ChunkId id, const Embedding& v) override;
+  std::vector<SearchHit> Search(const Embedding& query, size_t k) const override;
+  size_t size() const override { return ids_.size(); }
+
+ private:
+  size_t dim_;
+  std::vector<ChunkId> ids_;
+  std::vector<float> data_;  // Row-major, size() * dim_.
+};
+
+// Inverted-file index: k-means coarse quantizer + per-list exact search.
+// Approximate unless nprobe == nlist. Provided as the "extension" backend the
+// paper's future-work discussion gestures at; experiments default to flat.
+class IvfL2Index : public VectorIndex {
+ public:
+  IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed);
+
+  void Add(ChunkId id, const Embedding& v) override;
+  std::vector<SearchHit> Search(const Embedding& query, size_t k) const override;
+  size_t size() const override;
+
+  // Builds the coarse quantizer from the vectors added so far (call once after
+  // bulk load; Add() after Train() assigns to the nearest centroid).
+  void Train();
+  bool trained() const { return trained_; }
+
+ private:
+  size_t NearestCentroid(const Embedding& v) const;
+
+  size_t dim_;
+  size_t nlist_;
+  size_t nprobe_;
+  uint64_t seed_;
+  bool trained_ = false;
+  std::vector<Embedding> centroids_;
+  // Pre-train staging area, emptied by Train().
+  std::vector<std::pair<ChunkId, Embedding>> staged_;
+  struct ListEntry {
+    ChunkId id;
+    Embedding v;
+  };
+  std::vector<std::vector<ListEntry>> lists_;
+};
+
+// Database metadata shown to the LLM query profiler (paper §4.1, §A.1): a
+// one-line description of the corpus plus the chunk size.
+struct DatabaseMetadata {
+  std::string description;
+  int chunk_size_tokens = 0;
+  std::string domain;  // e.g. "finance", "meetings", "wiki".
+};
+
+// The assembled retrieval database: chunks + embeddings + index + metadata.
+class VectorDatabase {
+ public:
+  VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata);
+
+  // Adds a chunk; embeds its text and indexes it. Returns the chunk id.
+  ChunkId AddChunk(Chunk chunk);
+
+  // Embeds the query text and returns the top-k chunks, closest first.
+  std::vector<ChunkId> Retrieve(const std::string& query_text, size_t k) const;
+  std::vector<SearchHit> RetrieveWithDistances(const std::string& query_text, size_t k) const;
+
+  const Chunk& chunk(ChunkId id) const;
+  size_t num_chunks() const { return chunks_.size(); }
+  const DatabaseMetadata& metadata() const { return metadata_; }
+  const EmbeddingModel& embedder() const { return embedder_; }
+
+ private:
+  EmbeddingModel embedder_;
+  DatabaseMetadata metadata_;
+  std::vector<Chunk> chunks_;
+  FlatL2Index index_;
+};
+
+}  // namespace metis
+
+#endif  // METIS_SRC_VECTORDB_VECTORDB_H_

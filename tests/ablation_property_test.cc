@@ -1,0 +1,77 @@
+// Property sweep over the scheduler's design-ablation switches: under every
+// combination, METIS must serve every query, pick configurations consistent
+// with the enabled refinements, and keep quality/delay in a sane envelope.
+
+#include <gtest/gtest.h>
+
+#include "src/runner/runner.h"
+
+namespace metis {
+namespace {
+
+class AblationProperty : public ::testing::TestWithParam<int> {
+ protected:
+  JointSchedulerOptions Options() const {
+    int bits = GetParam();
+    JointSchedulerOptions opts;
+    opts.litm_cap = bits & 1;
+    opts.prefer_map_reduce_for_complex = bits & 2;
+    opts.fig8_fallback = bits & 4;
+    opts.use_projected_free = bits & 8;
+    return opts;
+  }
+};
+
+TEST_P(AblationProperty, MetisServesEveryQueryUnderVariant) {
+  RunSpec spec;
+  spec.dataset = "qmsum";  // Exercises all three methods and the fallbacks.
+  spec.num_queries = 25;
+  spec.arrival_rate = 2.0;
+  spec.system = SystemKind::kMetis;
+  spec.scheduler = Options();
+  spec.seed = 17;
+  RunMetrics m = RunExperiment(spec);
+
+  ASSERT_EQ(m.records.size(), 25u);
+  EXPECT_GT(m.mean_f1(), 0.15);
+  EXPECT_LE(m.f1s.max(), 1.0);
+  EXPECT_GT(m.mean_delay(), 0.0);
+  for (const QueryRecord& r : m.records) {
+    EXPECT_GE(r.config.num_chunks, 1);
+    EXPECT_LE(r.config.num_chunks, 64);
+    if (Options().litm_cap && r.config.method == SynthesisMethod::kStuff &&
+        !r.scheduler_fallback && !r.low_confidence_fallback) {
+      // In-space stuff choices respect the LITM budget (plus one chunk of
+      // slack for the min_chunks floor on large information needs).
+      int prompt = 64 + 40 + r.config.num_chunks * 512;
+      EXPECT_LE(prompt, JointScheduler::kStuffContextBudgetTokens +
+                            r.profile.num_info_pieces * 512);
+    }
+  }
+}
+
+TEST_P(AblationProperty, DeterministicPerVariant) {
+  RunSpec spec;
+  spec.dataset = "musique";
+  spec.num_queries = 15;
+  spec.arrival_rate = 2.0;
+  spec.system = SystemKind::kMetis;
+  spec.scheduler = Options();
+  spec.seed = 23;
+  RunMetrics a = RunExperiment(spec);
+  RunMetrics b = RunExperiment(spec);
+  EXPECT_DOUBLE_EQ(a.mean_delay(), b.mean_delay());
+  EXPECT_DOUBLE_EQ(a.mean_f1(), b.mean_f1());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, AblationProperty, ::testing::Range(0, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name = "bits";
+                           for (int b = 3; b >= 0; --b) {
+                             name += (info.param >> b) & 1 ? '1' : '0';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace metis

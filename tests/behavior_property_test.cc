@@ -1,0 +1,135 @@
+// Parameterized property tests for the generation behaviour model: the
+// quality orderings that every paper figure rests on must hold statistically
+// across models and context shapes.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/llm/behavior.h"
+#include "src/runner/runner.h"
+
+namespace metis {
+namespace {
+
+class BehaviorModelSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  GenerationTask Task(int facts, int ctx, double salience = 1.0) {
+    GenerationTask t;
+    t.mode = GenerationMode::kAnswer;
+    t.context_tokens = ctx;
+    t.num_required_facts = facts;
+    for (int i = 0; i < facts; ++i) {
+      FactInContext f;
+      f.fact_id = i;
+      f.answer_tokens = {"a" + std::to_string(i), "b" + std::to_string(i)};
+      f.position_frac = (i + 1.0) / (facts + 1.0);
+      f.salience = salience;
+      t.facts.push_back(f);
+    }
+    return t;
+  }
+
+  double MeanRecovered(const GenerationTask& base, int trials = 250) {
+    BehaviorModel model(BehaviorParams{}, 5);
+    const ModelSpec& spec = GetModelSpec(GetParam());
+    double total = 0;
+    for (int s = 0; s < trials; ++s) {
+      GenerationTask t = base;
+      t.rng_salt = static_cast<uint64_t>(s);
+      total += static_cast<double>(model.Generate(spec, t).expressed_facts.size());
+    }
+    return total / trials;
+  }
+};
+
+TEST_P(BehaviorModelSweep, RecoveryDecreasesWithContextLength) {
+  double short_ctx = MeanRecovered(Task(4, 1500));
+  double long_ctx = MeanRecovered(Task(4, 16000));
+  EXPECT_GT(short_ctx, long_ctx * 1.15);
+}
+
+TEST_P(BehaviorModelSweep, RecoveryIncreasesWithSalience) {
+  double salient = MeanRecovered(Task(4, 2000, 1.0));
+  double faint = MeanRecovered(Task(4, 2000, 0.1));
+  EXPECT_GT(salient, faint);
+}
+
+TEST_P(BehaviorModelSweep, OutputTokensNeverZero) {
+  BehaviorModel model(BehaviorParams{}, 5);
+  const ModelSpec& spec = GetModelSpec(GetParam());
+  for (int s = 0; s < 100; ++s) {
+    GenerationTask t = Task(1, 500, 0.05);  // Nearly impossible fact.
+    t.rng_salt = static_cast<uint64_t>(s);
+    GenerationResult r = model.Generate(spec, t);
+    EXPECT_GE(r.output_tokens, 1);
+    EXPECT_FALSE(r.text.empty());
+  }
+}
+
+TEST_P(BehaviorModelSweep, SummaryOutputTracksBudget) {
+  BehaviorModel model(BehaviorParams{}, 5);
+  const ModelSpec& spec = GetModelSpec(GetParam());
+  for (int budget : {20, 80, 200}) {
+    double mean = 0;
+    for (int s = 0; s < 100; ++s) {
+      GenerationTask t = Task(2, 1100);
+      t.mode = GenerationMode::kSummarize;
+      t.summary_budget_tokens = budget;
+      t.rng_salt = static_cast<uint64_t>(s);
+      mean += model.Generate(spec, t).output_tokens / 100.0;
+    }
+    // Summaries write toward their budget (the Fig. 4c delay knob).
+    EXPECT_GT(mean, budget * 0.6);
+    EXPECT_LT(mean, budget * 1.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BehaviorModelSweep,
+                         ::testing::Values("mistral-7b-v3-awq", "llama3.1-70b-awq", "gpt-4o"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Method-quality orderings per dataset: the pattern behind Algorithm 1 must
+// hold on every corpus, measured end-to-end through retrieval + synthesis.
+class MethodOrderingSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MethodOrderingSweep, JointQueriesNeedCrossChunkMethods) {
+  auto ds = GetOrGenerateDataset(GetParam(), 80, "cohere-embed-v3-sim", 3);
+  double joint_rerank = 0, joint_cross = 0;
+  int n = 0;
+  for (const RagQuery& q : ds->queries()) {
+    if (!q.requires_joint || q.num_facts < 3) {
+      continue;
+    }
+    int k = 2 * q.num_facts;
+    joint_rerank += RunSingleQuery(*ds, q, RagConfig{SynthesisMethod::kMapRerank, k, 60},
+                                   "mistral-7b-v3-awq", 3)
+                        .f1;
+    RagResult stuff = RunSingleQuery(*ds, q, RagConfig{SynthesisMethod::kStuff, k, 60},
+                                     "mistral-7b-v3-awq", 3);
+    RagResult reduce = RunSingleQuery(*ds, q, RagConfig{SynthesisMethod::kMapReduce, k, 80},
+                                      "mistral-7b-v3-awq", 3);
+    joint_cross += std::max(stuff.f1, reduce.f1);
+    if (++n == 20) {
+      break;
+    }
+  }
+  ASSERT_GT(n, 5);
+  // Reading chunks jointly must clearly beat per-chunk answering on
+  // multi-fact queries — the premise of Algorithm 1's first rule.
+  EXPECT_GT(joint_cross / n, joint_rerank / n + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, MethodOrderingSweep,
+                         ::testing::Values("musique", "kg_rag_finsec", "qmsum"));
+
+}  // namespace
+}  // namespace metis

@@ -1,0 +1,88 @@
+// Unit tests for the embedding model: geometry and retrieval-relevant
+// properties (similar texts close, unrelated texts near-orthogonal).
+
+#include <gtest/gtest.h>
+
+#include "src/embed/embedding.h"
+
+namespace metis {
+namespace {
+
+EmbeddingModel Cohere() { return EmbeddingModel(GetEmbeddingModel("cohere-embed-v3-sim")); }
+
+TEST(EmbeddingTest, DeterministicPerText) {
+  EmbeddingModel m = Cohere();
+  EXPECT_EQ(m.Embed("alpha beta gamma"), m.Embed("alpha beta gamma"));
+}
+
+TEST(EmbeddingTest, NormalizedToUnitLength) {
+  EmbeddingModel m = Cohere();
+  Embedding v = m.Embed("some words to embed here");
+  double norm = 0;
+  for (float x : v) {
+    norm += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(EmbeddingTest, EmptyTextIsZeroVector) {
+  EmbeddingModel m = Cohere();
+  Embedding v = m.Embed("");
+  for (float x : v) {
+    EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(EmbeddingTest, SharedVocabularyIsCloserThanDisjoint) {
+  EmbeddingModel m = Cohere();
+  Embedding q = m.Embed("kimbrough stadium location county");
+  Embedding related = m.Embed("the kimbrough stadium location is in randall county texas");
+  Embedding unrelated = m.Embed("quarterly revenue growth of semiconductor vendors");
+  EXPECT_LT(L2DistanceSquared(q, related), L2DistanceSquared(q, unrelated));
+  EXPECT_GT(CosineSimilarity(q, related), CosineSimilarity(q, unrelated));
+}
+
+TEST(EmbeddingTest, MoreOverlapMeansCloser) {
+  EmbeddingModel m = Cohere();
+  Embedding q = m.Embed("alpha beta gamma delta");
+  Embedding three = m.Embed("alpha beta gamma zzz yyy");
+  Embedding one = m.Embed("alpha qqq rrr sss ttt");
+  EXPECT_LT(L2DistanceSquared(q, three), L2DistanceSquared(q, one));
+}
+
+TEST(EmbeddingTest, CosineOfIdenticalTextIsOne) {
+  EmbeddingModel m = Cohere();
+  Embedding a = m.Embed("hello there friend");
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-5);
+}
+
+TEST(EmbeddingTest, UnrelatedTextsNearOrthogonal) {
+  EmbeddingModel m = Cohere();
+  Embedding a = m.Embed("stadium county location born");
+  Embedding b = m.Embed("voyager spacecraft neptune storms");
+  EXPECT_LT(std::abs(CosineSimilarity(a, b)), 0.35);
+}
+
+TEST(EmbeddingTest, DifferentModelsDifferentGeometry) {
+  EmbeddingModel a(GetEmbeddingModel("cohere-embed-v3-sim"));
+  EmbeddingModel b(GetEmbeddingModel("text-embedding-3-large-256-sim"));
+  EXPECT_NE(a.Embed("same text"), b.Embed("same text"));
+}
+
+TEST(EmbeddingTest, CatalogHasThreeModels) {
+  EXPECT_EQ(EmbeddingModelCatalog().size(), 3u);
+  EXPECT_EQ(GetEmbeddingModel("all-mpnet-base-v2-sim").dim, 768u);
+}
+
+TEST(EmbeddingDeathTest, UnknownModelAborts) {
+  EXPECT_DEATH(GetEmbeddingModel("no-such-model"), "CHECK failed");
+}
+
+TEST(EmbeddingDeathTest, DimensionMismatchAborts) {
+  Embedding a(4, 0.0f);
+  Embedding b(5, 0.0f);
+  EXPECT_DEATH(L2DistanceSquared(a, b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace metis

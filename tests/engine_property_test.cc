@@ -1,0 +1,94 @@
+// Parameterized property tests for the engine: invariants that must hold
+// across batching policies, pool sizes, and workload shapes.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/llm/engine.h"
+#include "src/sim/simulator.h"
+
+namespace metis {
+namespace {
+
+// (prefix_sharing, pool_tokens, num_requests)
+using EngineParam = std::tuple<bool, int, int>;
+
+class EngineProperty : public ::testing::TestWithParam<EngineParam> {
+ protected:
+  EngineConfig Config() {
+    EngineConfig cfg;
+    cfg.model = Mistral7BAwq();
+    cfg.kv_pool_bytes = std::get<1>(GetParam()) * cfg.model.kv_bytes_per_token;
+    cfg.prefix_sharing = std::get<0>(GetParam());
+    cfg.policy = std::get<0>(GetParam()) ? AdmissionPolicy::kGroupAware
+                                         : AdmissionPolicy::kFcfs;
+    return cfg;
+  }
+};
+
+TEST_P(EngineProperty, AllRequestsCompleteExactlyOnceInOrderOfNoLoss) {
+  Simulator sim;
+  LlmEngine engine(&sim, Config(), 3);
+  int n = std::get<2>(GetParam());
+  Rng rng(99);
+  std::vector<int> completions;
+  for (int i = 0; i < n; ++i) {
+    InferenceRequest req;
+    req.prompt_tokens = static_cast<int>(rng.UniformInt(50, 1200));
+    req.output_tokens = static_cast<int>(rng.UniformInt(1, 60));
+    if (i % 3 == 0) {
+      req.prefix_group = 1 + static_cast<uint64_t>(i / 6);
+      req.shared_prefix_tokens = std::min(40, req.prompt_tokens);
+    }
+    req.on_complete = [&completions, i](const RequestTiming& t) {
+      completions.push_back(i);
+      // Timing sanity for every completion.
+      EXPECT_GE(t.admit_time, t.submit_time);
+      EXPECT_GE(t.first_token_time, t.admit_time);
+      EXPECT_GE(t.finish_time, t.first_token_time);
+      EXPECT_GT(t.prompt_tokens, 0);
+      EXPECT_GT(t.output_tokens, 0);
+      EXPECT_LE(t.prefill_tokens_charged, t.prompt_tokens);
+    };
+    engine.Submit(std::move(req));
+  }
+  sim.Run();
+  EXPECT_EQ(completions.size(), static_cast<size_t>(n));
+  EXPECT_EQ(engine.stats().completed, static_cast<uint64_t>(n));
+  // All memory returned.
+  EXPECT_NEAR(engine.free_kv_bytes(), engine.total_kv_bytes(), 1.0);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.running_count(), 0u);
+}
+
+TEST_P(EngineProperty, PeakMemoryNeverExceedsPool) {
+  Simulator sim;
+  LlmEngine engine(&sim, Config(), 3);
+  Rng rng(7);
+  int n = std::get<2>(GetParam());
+  for (int i = 0; i < n; ++i) {
+    InferenceRequest req;
+    req.prompt_tokens = static_cast<int>(rng.UniformInt(100, 900));
+    req.output_tokens = static_cast<int>(rng.UniformInt(1, 40));
+    req.on_complete = [](const RequestTiming&) {};
+    engine.Submit(std::move(req));
+  }
+  sim.Run();
+  EXPECT_LE(engine.stats().peak_kv_bytes, engine.total_kv_bytes() + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineProperty,
+    ::testing::Values(EngineParam{false, 4000, 12}, EngineParam{false, 20000, 40},
+                      EngineParam{true, 4000, 12}, EngineParam{true, 20000, 40},
+                      EngineParam{true, 2500, 25}, EngineParam{false, 2500, 25}),
+    [](const ::testing::TestParamInfo<EngineParam>& info) {
+      return std::string(std::get<0>(info.param) ? "shared" : "fcfs") + "_pool" +
+             std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace metis

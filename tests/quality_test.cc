@@ -1,0 +1,61 @@
+// Unit tests for the token-F1 quality metric.
+
+#include <gtest/gtest.h>
+
+#include "src/quality/f1.h"
+
+namespace metis {
+namespace {
+
+TEST(TokenF1Test, PerfectMatch) {
+  F1Breakdown r = TokenF1({"a", "b", "c"}, {"a", "b", "c"});
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(TokenF1Test, NoOverlap) {
+  F1Breakdown r = TokenF1({"x", "y"}, {"a", "b"});
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+  EXPECT_EQ(r.overlap, 0u);
+}
+
+TEST(TokenF1Test, PartialOverlap) {
+  // 2 of 4 generated correct; 2 of 2 gold covered.
+  F1Breakdown r = TokenF1({"a", "b", "x", "y"}, {"a", "b"});
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_NEAR(r.f1, 2 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(TokenF1Test, MultisetSemantics) {
+  // Duplicates only count as many times as they appear in the gold.
+  F1Breakdown r = TokenF1({"a", "a", "a"}, {"a"});
+  EXPECT_EQ(r.overlap, 1u);
+  EXPECT_NEAR(r.precision, 1.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(TokenF1Test, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(TokenF1({}, {"a"}).f1, 0.0);
+  EXPECT_DOUBLE_EQ(TokenF1({"a"}, {}).f1, 0.0);
+  EXPECT_DOUBLE_EQ(TokenF1({}, {}).f1, 0.0);
+}
+
+TEST(TokenF1Test, OrderInsensitive) {
+  EXPECT_DOUBLE_EQ(TokenF1({"b", "a"}, {"a", "b"}).f1, 1.0);
+}
+
+TEST(TextF1Test, TokenizesBeforeScoring) {
+  F1Breakdown r = TextF1("The Answer!", "the answer");
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(TextF1Test, SymmetricHarmonicMean) {
+  // Precision 1/2 and recall 1/4 -> F1 = 2pr/(p+r) = 1/3.
+  F1Breakdown r = TokenF1({"a", "x"}, {"a", "b", "c", "d"});
+  EXPECT_NEAR(r.f1, 1.0 / 3, 1e-12);
+}
+
+}  // namespace
+}  // namespace metis

@@ -1,0 +1,89 @@
+// Unit tests for the text substrate: tokenizer and vocabulary.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/text/tokenizer.h"
+#include "src/text/vocabulary.h"
+
+namespace metis {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndStripsPunct) {
+  auto toks = Tokenize("Hello, World!");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+  EXPECT_TRUE(Tokenize("...").empty());
+}
+
+TEST(TokenizerTest, CountTokensMatchesSplit) {
+  std::string text = "one two  three\nfour\tfive";
+  EXPECT_EQ(CountTokens(text), 5u);
+  EXPECT_EQ(CountTokens(""), 0u);
+  EXPECT_EQ(CountTokens("solo"), 1u);
+}
+
+TEST(TokenizerTest, TruncateTokensShortensLongText) {
+  EXPECT_EQ(TruncateTokens("a b c d e", 3), "a b c");
+  EXPECT_EQ(TruncateTokens("a b", 10), "a b");
+  EXPECT_EQ(TruncateTokens("a b", 0), "");
+}
+
+TEST(VocabularyTest, GeneratesRequestedDistinctWords) {
+  Vocabulary v(1, 500);
+  EXPECT_EQ(v.size(), 500u);
+  std::set<std::string> seen;
+  for (size_t i = 0; i < v.size(); ++i) {
+    seen.insert(v.word(i));
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(VocabularyTest, DeterministicAcrossInstances) {
+  Vocabulary a(77, 100);
+  Vocabulary b(77, 100);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.word(i), b.word(i));
+  }
+}
+
+TEST(VocabularyTest, SampleIsZipfSkewed) {
+  Vocabulary v(5, 200);
+  Rng rng(9);
+  int first_word_hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (v.Sample(rng) == v.word(0)) {
+      ++first_word_hits;
+    }
+  }
+  // Rank 0 under Zipf(s~1.07, n=200) is far above uniform (25 hits).
+  EXPECT_GT(first_word_hits, 200);
+}
+
+TEST(VocabularyTest, FillerSentenceHasExactTokenCount) {
+  Vocabulary v(3, 50);
+  Rng rng(4);
+  std::string s = v.FillerSentence(rng, 12);
+  EXPECT_EQ(CountTokens(s), 12u);
+}
+
+TEST(MakeWordTest, ProducesLowercaseAlpha) {
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    std::string w = MakeWord(rng);
+    EXPECT_FALSE(w.empty());
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metis

@@ -1,0 +1,195 @@
+// Unit tests for the dataset generators: structure, retrievability, Table-1
+// statistics, arrival processes.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/text/tokenizer.h"
+#include "src/workload/dataset.h"
+
+namespace metis {
+namespace {
+
+std::unique_ptr<Dataset> Gen(const char* name, int n = 60, uint64_t seed = 7) {
+  DatasetGenerator gen(GetDatasetProfile(name), seed);
+  return gen.Generate(n, "cohere-embed-v3-sim");
+}
+
+TEST(DatasetProfilesTest, FourDatasetsExist) {
+  EXPECT_EQ(AllDatasetProfiles().size(), 4u);
+  EXPECT_EQ(GetDatasetProfile("squad").chunk_tokens, 256);
+  EXPECT_EQ(GetDatasetProfile("kg_rag_finsec").chunk_tokens, 1024);
+}
+
+TEST(DatasetProfilesDeathTest, UnknownAborts) {
+  EXPECT_DEATH(GetDatasetProfile("nope"), "CHECK failed");
+}
+
+TEST(DatasetGeneratorTest, QueryCountAndIds) {
+  auto ds = Gen("musique");
+  ASSERT_EQ(ds->queries().size(), 60u);
+  for (size_t i = 0; i < ds->queries().size(); ++i) {
+    EXPECT_EQ(ds->queries()[i].id, static_cast<int32_t>(i));
+  }
+}
+
+TEST(DatasetGeneratorTest, DeterministicForSeed) {
+  auto a = Gen("squad", 20, 5);
+  auto b = Gen("squad", 20, 5);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a->queries()[i].text, b->queries()[i].text);
+    EXPECT_EQ(a->queries()[i].gold_answer_tokens, b->queries()[i].gold_answer_tokens);
+  }
+  EXPECT_NE(Gen("squad", 20, 6)->queries()[0].text, a->queries()[0].text);
+}
+
+TEST(DatasetGeneratorTest, GoldFactsLiveInChunks) {
+  auto ds = Gen("musique");
+  for (const RagQuery& q : ds->queries()) {
+    EXPECT_EQ(static_cast<int>(q.gold_fact_ids.size()), q.num_facts);
+    for (int32_t fid : q.gold_fact_ids) {
+      const Fact& f = ds->fact(fid);
+      EXPECT_TRUE(f.gold);
+      EXPECT_EQ(f.query_id, q.id);
+      ASSERT_GE(f.chunk_id, 0);
+      const Chunk& chunk = ds->db().chunk(f.chunk_id);
+      // The fact is registered on its chunk and its sentence is embedded in
+      // the chunk text at the recorded offset.
+      bool registered = false;
+      for (int32_t cf : chunk.fact_ids) {
+        registered = registered || cf == fid;
+      }
+      EXPECT_TRUE(registered);
+      EXPECT_NE(chunk.text.find(f.sentence), std::string::npos);
+    }
+  }
+}
+
+TEST(DatasetGeneratorTest, ChunksHaveExactTokenCounts) {
+  auto ds = Gen("kg_rag_finsec", 20);
+  for (size_t c = 0; c < ds->db().num_chunks(); ++c) {
+    const Chunk& chunk = ds->db().chunk(static_cast<ChunkId>(c));
+    EXPECT_EQ(chunk.token_count, 1024);
+    EXPECT_EQ(CountTokens(chunk.text), 1024u);
+  }
+}
+
+TEST(DatasetGeneratorTest, GoldAnswerContainsAllFactTokens) {
+  auto ds = Gen("qmsum", 30);
+  for (const RagQuery& q : ds->queries()) {
+    std::unordered_set<std::string> gold(q.gold_answer_tokens.begin(),
+                                         q.gold_answer_tokens.end());
+    for (int32_t fid : q.gold_fact_ids) {
+      for (const auto& t : ds->fact(fid).answer_tokens) {
+        EXPECT_TRUE(gold.count(t)) << "missing " << t;
+      }
+    }
+    if (q.requires_joint) {
+      EXPECT_FALSE(q.conclusion_tokens.empty());
+    }
+  }
+}
+
+TEST(DatasetGeneratorTest, QueryTextCarriesEntityAnchors) {
+  auto ds = Gen("musique", 30);
+  for (const RagQuery& q : ds->queries()) {
+    if (q.underspecified) {
+      continue;  // Deliberately omits most anchors.
+    }
+    auto tokens = Tokenize(q.text);
+    std::unordered_set<std::string> set(tokens.begin(), tokens.end());
+    for (int32_t fid : q.gold_fact_ids) {
+      int matched = 0;
+      for (const auto& e : ds->fact(fid).entity_words) {
+        matched += set.count(e) ? 1 : 0;
+      }
+      EXPECT_GT(matched, 0) << q.text;
+    }
+  }
+}
+
+TEST(DatasetGeneratorTest, RetrievalFindsGoldChunks) {
+  auto ds = Gen("musique", 60);
+  double covered = 0, total = 0;
+  for (const RagQuery& q : ds->queries()) {
+    auto ids = ds->db().Retrieve(q.text, static_cast<size_t>(3 * q.num_facts));
+    std::unordered_set<ChunkId> set(ids.begin(), ids.end());
+    for (int32_t fid : q.gold_fact_ids) {
+      covered += set.count(ds->fact(fid).chunk_id) ? 1 : 0;
+      total += 1;
+    }
+  }
+  // Good but deliberately imperfect: the 1-3x over-fetch rule exists because
+  // hard negatives outrank some golds.
+  EXPECT_GT(covered / total, 0.80);
+  EXPECT_LT(covered / total, 1.00);
+}
+
+TEST(DatasetGeneratorTest, HardNegativesShareAnchorsButNotAnswers) {
+  auto ds = Gen("squad", 40);
+  int negatives = 0;
+  for (size_t c = 0; c < ds->db().num_chunks(); ++c) {
+    for (int32_t fid : ds->db().chunk(static_cast<ChunkId>(c)).fact_ids) {
+      const Fact& f = ds->fact(fid);
+      if (f.gold || f.query_id < 0) {
+        continue;
+      }
+      ++negatives;
+      const RagQuery& q = ds->queries()[static_cast<size_t>(f.query_id)];
+      std::unordered_set<std::string> gold(q.gold_answer_tokens.begin(),
+                                           q.gold_answer_tokens.end());
+      for (const auto& t : f.answer_tokens) {
+        EXPECT_FALSE(gold.count(t));  // Wrong answers, never gold tokens.
+      }
+    }
+  }
+  EXPECT_GT(negatives, 0);
+}
+
+TEST(DatasetGeneratorTest, MetadataDescribesCorpus) {
+  auto ds = Gen("kg_rag_finsec", 10);
+  EXPECT_EQ(ds->db().metadata().chunk_size_tokens, 1024);
+  EXPECT_NE(ds->db().metadata().description.find("1024"), std::string::npos);
+  EXPECT_EQ(ds->db().metadata().domain, "finance");
+}
+
+TEST(DatasetGeneratorTest, ProfileFlagsMatchTemplates) {
+  auto ds = Gen("qmsum", 40);
+  for (const RagQuery& q : ds->queries()) {
+    if (q.requires_joint) {
+      EXPECT_GT(q.num_facts, 1);
+    }
+    EXPECT_GE(q.ideal_summary_tokens, 30);
+    EXPECT_LE(q.ideal_summary_tokens, 200);
+    EXPECT_GE(q.target_output_tokens, GetDatasetProfile("qmsum").min_output_tokens);
+    EXPECT_LE(q.target_output_tokens, GetDatasetProfile("qmsum").max_output_tokens);
+  }
+}
+
+TEST(ArrivalsTest, PoissonArrivalsAreOrderedWithCorrectRate) {
+  Rng rng(3);
+  auto times = PoissonArrivalTimes(rng, 4000, 2.0);
+  ASSERT_EQ(times.size(), 4000u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+  // Mean inter-arrival ~ 0.5 s at rate 2.
+  EXPECT_NEAR(times.back() / 4000.0, 0.5, 0.05);
+}
+
+TEST(ArrivalsTest, AssignPoissonIsDeterministic) {
+  auto a = Gen("squad", 10);
+  std::vector<RagQuery> q1 = a->queries();
+  std::vector<RagQuery> q2 = a->queries();
+  AssignPoissonArrivals(q1, 2.0, 9);
+  AssignPoissonArrivals(q2, 2.0, 9);
+  for (size_t i = 0; i < q1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(q1[i].arrival_time, q2[i].arrival_time);
+  }
+  AssignSequentialArrivals(q1);
+  EXPECT_DOUBLE_EQ(q1[5].arrival_time, 0.0);
+}
+
+}  // namespace
+}  // namespace metis
