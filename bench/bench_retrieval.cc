@@ -1,0 +1,224 @@
+// Retrieval-substrate microbenchmark: flat vs. IVF, seed-scalar vs. blocked
+// kernels, 1/2/4/8 threads, batch sizes 1-64. Prints console tables and emits
+// a machine-readable BENCH_retrieval.json (QPS + p50/p99 per-query latency
+// per configuration) so future PRs can track the perf trajectory.
+//
+// The "seed scalar" baseline is the frozen pre-rebuild FlatL2Index::Search
+// from src/vectordb/seed_reference.h (shared with the parity tests, so the
+// bench speedup and the test parity measure the same baseline).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/common/thread_pool.h"
+#include "src/vectordb/seed_reference.h"
+#include "src/vectordb/vectordb.h"
+
+using namespace metis;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+// Runs `queries` through the index in groups of `batch`, timing each batch
+// call; per-query latency is batch time / batch size.
+Measurement MeasureBatched(const VectorIndex& index, const std::vector<Embedding>& queries,
+                           size_t k, size_t batch, ThreadPool* pool) {
+  Samples latencies_ms;
+  size_t done = 0;
+  auto start = Clock::now();
+  while (done < queries.size()) {
+    size_t take = std::min(batch, queries.size() - done);
+    std::vector<Embedding> group(queries.begin() + done, queries.begin() + done + take);
+    auto t0 = Clock::now();
+    auto hits = index.SearchBatch(group, k, pool);
+    double call_s = SecondsSince(t0);
+    for (size_t i = 0; i < take; ++i) {
+      latencies_ms.Add(call_s / static_cast<double>(take) * 1e3);
+    }
+    done += take;
+  }
+  double total_s = SecondsSince(start);
+  Measurement m;
+  m.qps = static_cast<double>(queries.size()) / total_s;
+  m.p50_ms = latencies_ms.median();
+  m.p99_ms = latencies_ms.p99();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 50000;
+  size_t dim = 256;
+  size_t num_queries = 64;
+  const size_t kTopK = 10;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--n=", 4) == 0) {
+      n = static_cast<size_t>(std::atol(argv[a] + 4));
+    } else if (std::strncmp(argv[a], "--queries=", 10) == 0) {
+      num_queries = static_cast<size_t>(std::atol(argv[a] + 10));
+    }
+  }
+
+  std::printf("Building corpus: n=%zu dim=%zu ...\n", n, dim);
+  Rng rng(0xBE7C4);
+  SeedFlatIndex seed(dim);
+  FlatL2Index flat(dim);
+  IvfL2Index ivf(dim, 64, 8, 17);
+  for (size_t i = 0; i < n; ++i) {
+    Embedding v = RandomUnitVector(rng, dim);
+    seed.Add(static_cast<ChunkId>(i), v);
+    flat.Add(static_cast<ChunkId>(i), v);
+    ivf.Add(static_cast<ChunkId>(i), v);
+  }
+  std::vector<Embedding> queries;
+  for (size_t q = 0; q < num_queries; ++q) {
+    queries.push_back(RandomUnitVector(rng, dim));
+  }
+
+  std::vector<BenchJsonRecord> records;
+  auto record = [&records](const std::string& name, const std::string& impl, size_t threads,
+                           size_t batch, const Measurement& m) {
+    BenchJsonRecord rec;
+    rec.name = name;
+    rec.tags = {{"impl", impl}};
+    rec.metrics = {{"threads", static_cast<double>(threads)},
+                   {"batch", static_cast<double>(batch)},
+                   {"qps", m.qps},
+                   {"p50_ms", m.p50_ms},
+                   {"p99_ms", m.p99_ms}};
+    records.push_back(std::move(rec));
+  };
+
+  // --- Seed scalar baseline (single thread, batch 1) ---
+  size_t seed_queries = std::min<size_t>(num_queries, 24);
+  {  // Warmup.
+    seed.Search(queries[0], kTopK);
+  }
+  Samples seed_lat_ms;
+  auto seed_start = Clock::now();
+  for (size_t q = 0; q < seed_queries; ++q) {
+    auto t0 = Clock::now();
+    auto hits = seed.Search(queries[q], kTopK);
+    seed_lat_ms.Add(SecondsSince(t0) * 1e3);
+    if (hits.empty()) {
+      std::printf("unexpected empty result\n");
+      return 1;
+    }
+  }
+  Measurement seed_m;
+  seed_m.qps = static_cast<double>(seed_queries) / SecondsSince(seed_start);
+  seed_m.p50_ms = seed_lat_ms.median();
+  seed_m.p99_ms = seed_lat_ms.p99();
+  record("flat_seed_scalar_t1_b1", "flat_seed_scalar", 1, 1, seed_m);
+
+  // --- Blocked flat + IVF across threads and batch sizes ---
+  const std::vector<size_t> kThreads = {1, 2, 4, 8};
+  const std::vector<size_t> kBatches = {1, 4, 16, 64};
+  Table flat_table("bench_retrieval: blocked flat QPS (n=50k, dim=256, k=10)");
+  std::vector<std::string> header = {"threads \\ batch"};
+  for (size_t b : kBatches) {
+    header.push_back(StrFormat("b=%zu", b));
+  }
+  flat_table.SetHeader(header);
+
+  double flat_t1_b1_qps = 0;
+  double flat_t4_qps = 0;
+  flat.SearchBatch(queries, kTopK, nullptr);  // Warmup.
+  for (size_t threads : kThreads) {
+    ThreadPool pool(threads);
+    std::vector<std::string> row = {StrFormat("t=%zu", threads)};
+    for (size_t batch : kBatches) {
+      Measurement m = MeasureBatched(flat, queries, kTopK, batch, threads > 1 ? &pool : nullptr);
+      record(StrFormat("flat_blocked_t%zu_b%zu", threads, batch), "flat_blocked", threads, batch,
+             m);
+      row.push_back(Table::Num(m.qps, 0));
+      if (threads == 1 && batch == 1) {
+        flat_t1_b1_qps = m.qps;
+      }
+      if (threads == 4 && batch == 64) {
+        flat_t4_qps = m.qps;
+      }
+    }
+    flat_table.AddRow(row);
+  }
+  flat_table.Print();
+
+  Table ivf_table("bench_retrieval: IVF (nlist=64, nprobe=8) QPS");
+  ivf_table.SetHeader(header);
+  {
+    ThreadPool train_pool(ThreadPool::DefaultThreads());
+    auto t0 = Clock::now();
+    ivf.Train(&train_pool);
+    double train_s = SecondsSince(t0);
+    BenchJsonRecord rec;
+    rec.name = "ivf_train";
+    rec.tags = {{"impl", "ivf_train"}};
+    rec.metrics = {{"threads", static_cast<double>(train_pool.num_threads())},
+                   {"seconds", train_s}};
+    records.push_back(std::move(rec));
+    std::printf("IVF train (%zu threads): %.2f s\n", train_pool.num_threads(), train_s);
+  }
+  for (size_t threads : kThreads) {
+    ThreadPool pool(threads);
+    std::vector<std::string> row = {StrFormat("t=%zu", threads)};
+    for (size_t batch : kBatches) {
+      Measurement m = MeasureBatched(ivf, queries, kTopK, batch, threads > 1 ? &pool : nullptr);
+      record(StrFormat("ivf_blocked_t%zu_b%zu", threads, batch), "ivf_blocked", threads, batch, m);
+      row.push_back(Table::Num(m.qps, 0));
+    }
+    ivf_table.AddRow(row);
+  }
+  ivf_table.Print();
+
+  // --- Verdicts ---
+  double speedup = seed_m.qps > 0 ? flat_t1_b1_qps / seed_m.qps : 0;
+  std::printf("\nseed scalar: %.0f qps (p50 %.2f ms) | blocked t1/b1: %.0f qps (speedup %.1fx)\n",
+              seed_m.qps, seed_m.p50_ms, flat_t1_b1_qps, speedup);
+  PrintShapeCheck(StrFormat("blocked flat search >= 5x seed scalar at dim=%zu, n=%zu", dim, n),
+                  StrFormat("%.1fx single-thread speedup", speedup), speedup >= 5.0);
+  if (ThreadPool::DefaultThreads() >= 4) {
+    PrintShapeCheck("near-linear batched scaling to 4 threads",
+                    StrFormat("t4/b64 %.0f qps vs t1/b1 %.0f qps (%.2fx)", flat_t4_qps,
+                              flat_t1_b1_qps, flat_t4_qps / std::max(1.0, flat_t1_b1_qps)),
+                    flat_t4_qps >= 2.5 * flat_t1_b1_qps);
+  } else {
+    std::printf("  [SKIP] thread-scaling verdict: only %zu hardware thread(s) available\n",
+                ThreadPool::DefaultThreads());
+  }
+
+  BenchJsonRecord summary;
+  summary.name = "summary";
+  summary.tags = {{"impl", "summary"}};
+  summary.metrics = {{"n", static_cast<double>(n)},
+                     {"dim", static_cast<double>(dim)},
+                     {"k", static_cast<double>(kTopK)},
+                     {"single_thread_speedup", speedup},
+                     {"hardware_threads", static_cast<double>(ThreadPool::DefaultThreads())}};
+  records.push_back(std::move(summary));
+  WriteBenchJson("BENCH_retrieval.json", "retrieval", records);
+  std::printf("wrote BENCH_retrieval.json (%zu records)\n", records.size());
+  return 0;
+}

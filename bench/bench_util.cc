@@ -83,4 +83,40 @@ void PrintShapeCheck(const std::string& claim, const std::string& measured, bool
               claim.c_str(), measured.c_str());
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<BenchJsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  METIS_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", JsonEscape(bench_name).c_str());
+  for (size_t r = 0; r < records.size(); ++r) {
+    const BenchJsonRecord& rec = records[r];
+    std::fprintf(f, "    {\"name\": \"%s\"", JsonEscape(rec.name).c_str());
+    for (const auto& [key, value] : rec.tags) {
+      std::fprintf(f, ", \"%s\": \"%s\"", JsonEscape(key).c_str(), JsonEscape(value).c_str());
+    }
+    for (const auto& [key, value] : rec.metrics) {
+      std::fprintf(f, ", \"%s\": %.6g", JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", r + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace metis

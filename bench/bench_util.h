@@ -43,6 +43,19 @@ RagConfig SimilarDelayFixed(const std::vector<FixedConfigScore>& scores, double 
 // Emits a one-line paper-vs-measured verdict under a table.
 void PrintShapeCheck(const std::string& claim, const std::string& measured, bool holds);
 
+// --- Machine-readable benchmark output ---------------------------------------
+//
+// One record per measured configuration; WriteBenchJson serializes the lot to
+// a JSON file ({"bench": ..., "records": [...]}) so CI and future PRs can
+// track the perf trajectory without parsing console tables.
+struct BenchJsonRecord {
+  std::string name;  // Unique configuration label.
+  std::vector<std::pair<std::string, std::string>> tags;     // e.g. {"impl", "flat"}.
+  std::vector<std::pair<std::string, double>> metrics;       // e.g. {"qps", 1234.5}.
+};
+void WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<BenchJsonRecord>& records);
+
 }  // namespace metis
 
 #endif  // METIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+#include "src/core/retrieval_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace metis {
+
+RetrievalBatcher::RetrievalBatcher(Simulator* sim, const VectorDatabase* db,
+                                   double delay_seconds)
+    : sim_(sim), db_(db), delay_(delay_seconds) {
+  METIS_CHECK(sim != nullptr);
+  METIS_CHECK(db != nullptr);
+  METIS_CHECK_GE(delay_seconds, 0.0);
+}
+
+void RetrievalBatcher::Submit(std::string query_text, size_t k, Callback cb) {
+  METIS_CHECK(cb != nullptr);
+  ++requests_;
+  pending_.push_back(Pending{std::move(query_text), k, std::move(cb), sim_->now() + delay_});
+  // Per-request event: claims the exact (time, sequence) slot the seed's
+  // per-query ScheduleAfter would have, so coalescing cannot reorder this
+  // callback relative to any other same-instant event in the simulation.
+  sim_->ScheduleAt(pending_.back().due, [this]() { Deliver(); });
+}
+
+void RetrievalBatcher::Deliver() {
+  METIS_CHECK(!pending_.empty());
+  if (ready_.empty()) {
+    // First delivery of a same-tick group: sweep the index once for every
+    // request already queued that falls due now. Later submits (even at this
+    // same timestamp) start their own group when their events fire.
+    SimTime now = sim_->now();
+    size_t group = 0;
+    size_t max_k = 0;
+    while (group < pending_.size() && pending_[group].due <= now) {
+      max_k = std::max(max_k, pending_[group].k);
+      ++group;
+    }
+    METIS_CHECK_GT(group, 0u);
+    std::vector<std::string> texts;
+    texts.reserve(group);
+    for (size_t i = 0; i < group; ++i) {
+      texts.push_back(pending_[i].text);
+    }
+    // One shared sweep at the largest requested width; per-request widths
+    // are prefixes of it (top-k lists are prefix-consistent under the
+    // index's (distance, insertion-order) total order).
+    std::vector<std::vector<SearchHit>> hits = db_->RetrieveBatch(texts, max_k);
+    ++batches_;
+    max_batch_ = std::max(max_batch_, group);
+    for (size_t i = 0; i < group; ++i) {
+      size_t take = std::min(pending_[i].k, hits[i].size());
+      std::vector<ChunkId> ids;
+      ids.reserve(take);
+      for (size_t h = 0; h < take; ++h) {
+        ids.push_back(hits[i][h].id);
+      }
+      ready_.push_back(std::move(ids));
+    }
+  }
+  Pending p = std::move(pending_.front());
+  pending_.pop_front();
+  std::vector<ChunkId> ids = std::move(ready_.front());
+  ready_.pop_front();
+  p.cb(std::move(ids));
+}
+
+}  // namespace metis

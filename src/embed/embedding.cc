@@ -74,6 +74,29 @@ Embedding EmbeddingModel::Embed(std::string_view text) const {
   return v;
 }
 
+EmbeddingCache::EmbeddingCache(const EmbeddingModel* model, size_t capacity)
+    : model_(model), capacity_(capacity) {
+  METIS_CHECK(model != nullptr);
+  METIS_CHECK_GT(capacity, 0u);
+}
+
+const Embedding& EmbeddingCache::Get(const std::string& text) {
+  auto it = map_.find(std::string_view(text));
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().second;
+  }
+  ++misses_;
+  if (lru_.size() >= capacity_) {
+    map_.erase(std::string_view(lru_.back().first));
+    lru_.pop_back();
+  }
+  lru_.emplace_front(text, model_->Embed(text));
+  map_.emplace(std::string_view(lru_.front().first), lru_.begin());
+  return lru_.front().second;
+}
+
 float L2DistanceSquared(const Embedding& a, const Embedding& b) {
   METIS_CHECK_EQ(a.size(), b.size());
   double d = 0;

@@ -11,8 +11,11 @@
 #ifndef METIS_SRC_EMBED_EMBEDDING_H_
 #define METIS_SRC_EMBED_EMBEDDING_H_
 
+#include <list>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace metis {
@@ -45,6 +48,38 @@ class EmbeddingModel {
 
  private:
   EmbeddingModelSpec spec_;
+};
+
+// Bounded LRU memo cache over EmbeddingModel::Embed.
+//
+// Tokenizing + hashing a query costs far more than the lookup, and the same
+// query text is embedded many times across a run (profiler probe, retrieval,
+// golden-config feedback, per-config sweeps), so a small cache removes almost
+// all repeat work. Not thread-safe: callers embed on the simulation thread
+// before handing vectors to the (worker-pool) search sweep.
+class EmbeddingCache {
+ public:
+  EmbeddingCache(const EmbeddingModel* model, size_t capacity);
+
+  // Returns the embedding for `text`, computing and memoizing it on a miss.
+  // The reference stays valid until the next Get() (eviction may free it).
+  const Embedding& Get(const std::string& text);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const EmbeddingModel* model_;
+  size_t capacity_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  // Front = most recently used. The map keys view the strings owned by the
+  // list nodes (stable storage), avoiding a second copy of each text.
+  std::list<std::pair<std::string, Embedding>> lru_;
+  std::unordered_map<std::string_view, std::list<std::pair<std::string, Embedding>>::iterator>
+      map_;
 };
 
 // Squared L2 distance between equal-dimension vectors.

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
+#include "src/core/retrieval_batcher.h"
 
 namespace metis {
 
@@ -78,6 +79,7 @@ namespace {
 // Per-dataset policy stack sharing one engine + simulator.
 struct DatasetStack {
   std::shared_ptr<const Dataset> dataset;
+  std::unique_ptr<RetrievalBatcher> batcher;
   std::unique_ptr<SynthesisExecutor> executor;
   std::unique_ptr<ApiLlmClient> profiler_api;
   std::unique_ptr<QueryProfiler> profiler;
@@ -90,6 +92,7 @@ struct Stack {
   Simulator sim;
   std::unique_ptr<LlmEngine> engine;
   std::unique_ptr<BehaviorModel> behavior;
+  std::unique_ptr<RetrievalBatcher> batcher;
   std::unique_ptr<SynthesisExecutor> executor;
   std::unique_ptr<ApiLlmClient> profiler_api;
   std::unique_ptr<QueryProfiler> profiler;
@@ -124,9 +127,13 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     DatasetStack& ds = stacks[d];
     ds.dataset = GetOrGenerateDataset(spec.datasets[d], spec.queries_per_dataset,
                                       spec.embedding_model, spec.seed);
+    if (spec.scheduler.coalesce_retrieval) {
+      ds.batcher = std::make_unique<RetrievalBatcher>(&sim, &ds.dataset->db(),
+                                                      SynthesisExecutor::kRetrievalSeconds);
+    }
     ds.executor = std::make_unique<SynthesisExecutor>(&sim, &engine, &behavior,
                                                       ds.dataset.get(),
-                                                      spec.seed ^ 0x5E1Full);
+                                                      spec.seed ^ 0x5E1Full, ds.batcher.get());
     auto sink = [records = &ds.records](QueryRecord rec) { records->push_back(std::move(rec)); };
 
     RagConfig fixed = spec.fixed_configs[std::min(d, spec.fixed_configs.size() - 1)];
@@ -254,9 +261,13 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   stack.engine = std::make_unique<LlmEngine>(&stack.sim, ecfg, spec.seed);
 
   stack.behavior = std::make_unique<BehaviorModel>(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
+  if (spec.scheduler.coalesce_retrieval) {
+    stack.batcher = std::make_unique<RetrievalBatcher>(&stack.sim, &dataset->db(),
+                                                       SynthesisExecutor::kRetrievalSeconds);
+  }
   stack.executor = std::make_unique<SynthesisExecutor>(&stack.sim, stack.engine.get(),
                                                        stack.behavior.get(), dataset.get(),
-                                                       spec.seed ^ 0x5E1Full);
+                                                       spec.seed ^ 0x5E1Full, stack.batcher.get());
 
   RunMetrics metrics;
   metrics.spec = spec;

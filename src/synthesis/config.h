@@ -23,7 +23,11 @@ struct RagConfig {
   int num_chunks = 5;            // Knob 1.
   int intermediate_tokens = 50;  // Knob 3 (map_reduce only).
 
-  bool operator==(const RagConfig& other) const = default;
+  bool operator==(const RagConfig& other) const {
+    return method == other.method && num_chunks == other.num_chunks &&
+           intermediate_tokens == other.intermediate_tokens;
+  }
+  bool operator!=(const RagConfig& other) const { return !(*this == other); }
 };
 
 std::string RagConfigToString(const RagConfig& config);

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
+#include "src/core/retrieval_batcher.h"
 #include "src/text/tokenizer.h"
 
 namespace metis {
@@ -18,8 +19,13 @@ struct SynthesisExecutor::ChunkFacts {
 
 SynthesisExecutor::SynthesisExecutor(Simulator* sim, LlmEngine* engine,
                                      const BehaviorModel* behavior, const Dataset* dataset,
-                                     uint64_t seed)
-    : sim_(sim), engine_(engine), behavior_(behavior), dataset_(dataset), seed_(seed) {
+                                     uint64_t seed, RetrievalBatcher* batcher)
+    : sim_(sim),
+      engine_(engine),
+      behavior_(behavior),
+      dataset_(dataset),
+      seed_(seed),
+      batcher_(batcher) {
   METIS_CHECK(sim != nullptr);
   METIS_CHECK(engine != nullptr);
   METIS_CHECK(behavior != nullptr);
@@ -141,13 +147,25 @@ int CountGoldCoverage(const Dataset& dataset, const RagQuery& query,
 
 }  // namespace
 
+void SynthesisExecutor::RetrieveChunks(const RagQuery& query, int num_chunks,
+                                       std::function<void(std::vector<ChunkId>)> then) {
+  size_t k = static_cast<size_t>(num_chunks);
+  if (batcher_ != nullptr) {
+    batcher_->Submit(query.text, k, std::move(then));
+    return;
+  }
+  sim_->ScheduleAfter(kRetrievalSeconds,
+                      [this, text = query.text, k, then = std::move(then)]() mutable {
+                        then(dataset_->db().Retrieve(text, k));
+                      });
+}
+
 void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
                                  std::function<void(RagResult)> done) {
   SimTime exec_start = sim_->now();
-  sim_->ScheduleAfter(kRetrievalSeconds, [this, query, config, exec_start,
-                                          done = std::move(done)]() mutable {
-    std::vector<ChunkId> chunks = dataset_->db().Retrieve(query.text,
-                                                          static_cast<size_t>(config.num_chunks));
+  RetrieveChunks(query, config.num_chunks, [this, query, config, exec_start,
+                                            done = std::move(done)](
+                                               std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));
     int chunk_tokens = dataset_->profile().chunk_tokens;
     int prompt_tokens = StuffPromptTokens(query_tokens, static_cast<int>(chunks.size()));
@@ -199,10 +217,9 @@ void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
 void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& config,
                                      std::function<void(RagResult)> done) {
   SimTime exec_start = sim_->now();
-  sim_->ScheduleAfter(kRetrievalSeconds, [this, query, config, exec_start,
-                                          done = std::move(done)]() mutable {
-    std::vector<ChunkId> chunks = dataset_->db().Retrieve(query.text,
-                                                          static_cast<size_t>(config.num_chunks));
+  RetrieveChunks(query, config.num_chunks, [this, query, config, exec_start,
+                                            done = std::move(done)](
+                                               std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));
     int prompt_tokens = MapperPromptTokens(query_tokens);
     uint64_t prefix_group = 0x52524Bull ^ (static_cast<uint64_t>(query.id) << 8) ^ seed_;
@@ -277,10 +294,9 @@ void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& con
 void SynthesisExecutor::RunMapReduce(const RagQuery& query, const RagConfig& config,
                                      std::function<void(RagResult)> done) {
   SimTime exec_start = sim_->now();
-  sim_->ScheduleAfter(kRetrievalSeconds, [this, query, config, exec_start,
-                                          done = std::move(done)]() mutable {
-    std::vector<ChunkId> chunks = dataset_->db().Retrieve(query.text,
-                                                          static_cast<size_t>(config.num_chunks));
+  RetrieveChunks(query, config.num_chunks, [this, query, config, exec_start,
+                                            done = std::move(done)](
+                                               std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));
     int mapper_prompt = MapperPromptTokens(query_tokens);
     uint64_t prefix_group = 0x4D4152ull ^ (static_cast<uint64_t>(query.id) << 8) ^ seed_;

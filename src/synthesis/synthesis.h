@@ -26,6 +26,8 @@
 
 namespace metis {
 
+class RetrievalBatcher;
+
 struct RagResult {
   int32_t query_id = -1;
   RagConfig config;
@@ -48,8 +50,12 @@ struct RagResult {
 
 class SynthesisExecutor {
  public:
+  // `batcher` (optional, not owned) coalesces same-tick retrievals from many
+  // queued queries into one batched index sweep; null falls back to a
+  // per-query index scan with identical timing and results.
   SynthesisExecutor(Simulator* sim, LlmEngine* engine, const BehaviorModel* behavior,
-                    const Dataset* dataset, uint64_t seed);
+                    const Dataset* dataset, uint64_t seed,
+                    RetrievalBatcher* batcher = nullptr);
 
   // Runs retrieval + synthesis for `query` under `config`; invokes `done`
   // from simulation context when the answer is complete.
@@ -73,6 +79,12 @@ class SynthesisExecutor {
   // Builds the per-chunk fact descriptors for a retrieved chunk.
   ChunkFacts DescribeChunk(const RagQuery& query, ChunkId chunk_id) const;
 
+  // Retrieval front half shared by the three pipelines: top-`num_chunks` ids
+  // arrive at `then` exactly kRetrievalSeconds from now, through the batcher
+  // when one is wired (shared sweep) or a direct per-query scan otherwise.
+  void RetrieveChunks(const RagQuery& query, int num_chunks,
+                      std::function<void(std::vector<ChunkId>)> then);
+
   void RunStuff(const RagQuery& query, const RagConfig& config,
                 std::function<void(RagResult)> done);
   void RunMapRerank(const RagQuery& query, const RagConfig& config,
@@ -91,6 +103,7 @@ class SynthesisExecutor {
   const BehaviorModel* behavior_;
   const Dataset* dataset_;
   uint64_t seed_;
+  RetrievalBatcher* batcher_;
 };
 
 }  // namespace metis

@@ -1,55 +1,251 @@
 #include "src/vectordb/vectordb.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
 
 namespace metis {
 
+// --- Kernels ----------------------------------------------------------------
+
+double DotBlocked(const float* a, const float* b, size_t n) {
+  // Eight independent accumulators: each maps to its own SIMD lane (or its
+  // own scalar dependency chain), so the compiler can vectorize/pipeline this
+  // under strict FP semantics — no reassociation of one long chain needed.
+  //
+  // Accumulation is in double on purpose. The decomposed distance
+  // |x|^2 + |q|^2 - 2 dot(x, q) cancels catastrophically for near-ties, and
+  // rankings must stay bit-identical to the seed's double-precision scalar
+  // loop; double accumulators keep the decomposition error (~1e-13 relative)
+  // far below float's rounding grid, so the final float distances — and
+  // hence the ranking — match the seed's.
+  double acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  double acc4 = 0, acc5 = 0, acc6 = 0, acc7 = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 += static_cast<double>(a[i + 0]) * b[i + 0];
+    acc1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<double>(a[i + 3]) * b[i + 3];
+    acc4 += static_cast<double>(a[i + 4]) * b[i + 4];
+    acc5 += static_cast<double>(a[i + 5]) * b[i + 5];
+    acc6 += static_cast<double>(a[i + 6]) * b[i + 6];
+    acc7 += static_cast<double>(a[i + 7]) * b[i + 7];
+  }
+  double tail = 0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return (((acc0 + acc4) + (acc2 + acc6)) + ((acc1 + acc5) + (acc3 + acc7))) + tail;
+}
+
+double SquaredNormBlocked(const float* a, size_t n) {
+  // Same accumulation structure as DotBlocked by construction, so
+  // SquaredNormBlocked(x) == DotBlocked(x, x) bit-for-bit and duplicate rows
+  // score an exact-zero distance against themselves.
+  return DotBlocked(a, a, n);
+}
+
+// --- RowPool ----------------------------------------------------------------
+
 namespace {
 
-// Shared top-k selection over (id, distance) candidates.
-std::vector<SearchHit> TopK(std::vector<SearchHit> hits, size_t k) {
-  std::stable_sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
-    return a.distance < b.distance;
-  });
-  if (hits.size() > k) {
-    hits.resize(k);
-  }
-  return hits;
+constexpr size_t kStrideFloats = 16;  // 64 bytes.
+
+size_t PaddedStride(size_t dim) {
+  return (dim + kStrideFloats - 1) / kStrideFloats * kStrideFloats;
 }
 
 }  // namespace
 
-FlatL2Index::FlatL2Index(size_t dim) : dim_(dim) { METIS_CHECK_GT(dim, 0u); }
+RowPool::RowPool(size_t dim) : dim_(dim), stride_(PaddedStride(dim)) {
+  METIS_CHECK_GT(dim, 0u);
+}
+
+void RowPool::Append(ChunkId id, const float* v) {
+  size_t offset = data_.size();
+  data_.resize(offset + stride_, 0.0f);
+  std::memcpy(data_.data() + offset, v, dim_ * sizeof(float));
+  norms_.push_back(SquaredNormBlocked(data_.data() + offset, dim_));
+  ids_.push_back(id);
+}
+
+// --- Bounded top-k selection ------------------------------------------------
+
+namespace {
+
+// Candidate under selection: distance plus the position at which it was
+// considered (insertion order for flat, probe-concatenation order for IVF).
+struct Cand {
+  float dist;
+  size_t order;
+  ChunkId id;
+};
+
+// Total order matching the seed's stable_sort-by-distance: distance first,
+// candidate order as the tie-break. Selecting the k smallest under this total
+// order is independent of how candidates are partitioned or interleaved.
+inline bool CandLess(const Cand& a, const Cand& b) {
+  if (a.dist != b.dist) {
+    return a.dist < b.dist;
+  }
+  return a.order < b.order;
+}
+
+// Max-heap of the k best candidates seen so far: O(log k) per insertion past
+// the warmup, O(k) memory — replaces the seed's materialize-all + stable_sort.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(size_t k) : k_(k) { heap_.reserve(k); }
+
+  void Offer(float dist, size_t order, ChunkId id) {
+    if (k_ == 0) {
+      return;
+    }
+    if (heap_.size() < k_) {
+      heap_.push_back(Cand{dist, order, id});
+      std::push_heap(heap_.begin(), heap_.end(), CandLess);
+      return;
+    }
+    const Cand& worst = heap_.front();
+    if (dist > worst.dist || (dist == worst.dist && order > worst.order)) {
+      return;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), CandLess);
+    heap_.back() = Cand{dist, order, id};
+    std::push_heap(heap_.begin(), heap_.end(), CandLess);
+  }
+
+  std::vector<SearchHit> Drain() {
+    std::sort_heap(heap_.begin(), heap_.end(), CandLess);  // Ascending.
+    std::vector<SearchHit> hits;
+    hits.reserve(heap_.size());
+    for (const Cand& c : heap_) {
+      hits.push_back(SearchHit{c.id, c.dist});
+    }
+    heap_.clear();
+    return hits;
+  }
+
+ private:
+  size_t k_;
+  std::vector<Cand> heap_;
+};
+
+// Scores pool rows [begin, end) against one query and offers them to `out`.
+// Candidate order is `order_base` + row offset, i.e. pool insertion order.
+void ScanRows(const RowPool& pool, size_t begin, size_t end, const float* q, double qnorm,
+              size_t order_base, BoundedTopK& out) {
+  size_t dim = pool.dim();
+  for (size_t i = begin; i < end; ++i) {
+    float d = static_cast<float>(pool.norm(i) + qnorm - 2.0 * DotBlocked(pool.row(i), q, dim));
+    if (d < 0.0f) {
+      d = 0.0f;  // Decomposition rounding can dip just below zero for rows
+                 // within ~1e-7 of the query; a squared distance is never
+                 // negative.
+    }
+    out.Offer(d, order_base + i, pool.id(i));
+  }
+}
+
+// Rows per cache block for the shared batch sweep: ~128 KiB of row data, so a
+// block stays L2-resident while every query in the batch scores it.
+size_t BlockRows(size_t stride) {
+  constexpr size_t kBlockFloats = 128 * 1024 / sizeof(float);
+  return std::max<size_t>(1, kBlockFloats / stride);
+}
+
+}  // namespace
+
+// --- VectorIndex default batch ----------------------------------------------
+
+std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
+    const std::vector<Embedding>& queries, size_t k, ThreadPool* pool) const {
+  (void)pool;
+  std::vector<std::vector<SearchHit>> results;
+  results.reserve(queries.size());
+  for (const Embedding& q : queries) {
+    results.push_back(Search(q, k));
+  }
+  return results;
+}
+
+// --- FlatL2Index ------------------------------------------------------------
+
+FlatL2Index::FlatL2Index(size_t dim) : dim_(dim), rows_(dim) { METIS_CHECK_GT(dim, 0u); }
 
 void FlatL2Index::Add(ChunkId id, const Embedding& v) {
   METIS_CHECK_EQ(v.size(), dim_);
-  ids_.push_back(id);
-  data_.insert(data_.end(), v.begin(), v.end());
+  rows_.Append(id, v.data());
 }
 
 std::vector<SearchHit> FlatL2Index::Search(const Embedding& query, size_t k) const {
   METIS_CHECK_EQ(query.size(), dim_);
-  std::vector<SearchHit> hits;
-  hits.reserve(ids_.size());
-  for (size_t row = 0; row < ids_.size(); ++row) {
-    const float* p = &data_[row * dim_];
-    double d = 0;
-    for (size_t j = 0; j < dim_; ++j) {
-      double diff = static_cast<double>(p[j]) - query[j];
-      d += diff * diff;
-    }
-    hits.push_back(SearchHit{ids_[row], static_cast<float>(d)});
+  if (k == 0 || rows_.size() == 0) {
+    return {};
   }
-  return TopK(std::move(hits), k);
+  double qnorm = SquaredNormBlocked(query.data(), dim_);
+  BoundedTopK topk(k);
+  ScanRows(rows_, 0, rows_.size(), query.data(), qnorm, 0, topk);
+  return topk.Drain();
 }
 
+std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(const std::vector<Embedding>& queries,
+                                                             size_t k, ThreadPool* pool) const {
+  for (const Embedding& q : queries) {
+    METIS_CHECK_EQ(q.size(), dim_);
+  }
+  std::vector<std::vector<SearchHit>> results(queries.size());
+  if (queries.empty() || k == 0 || rows_.size() == 0) {
+    return results;
+  }
+
+  // One sweep over the index per query shard: rows are visited in cache-sized
+  // blocks, and each block is scored against every query of the shard before
+  // moving on. Per-query scan order is still row 0..n, so results are
+  // identical to Search() and independent of the shard/block layout.
+  auto sweep = [&](size_t qb, size_t qe) {
+    size_t nq = qe - qb;
+    std::vector<double> qnorms(nq);
+    std::vector<BoundedTopK> heaps;
+    heaps.reserve(nq);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      qnorms[qi] = SquaredNormBlocked(queries[qb + qi].data(), dim_);
+      heaps.emplace_back(k);
+    }
+    size_t block = BlockRows(rows_.stride());
+    for (size_t rb = 0; rb < rows_.size(); rb += block) {
+      size_t re = std::min(rb + block, rows_.size());
+      for (size_t qi = 0; qi < nq; ++qi) {
+        ScanRows(rows_, rb, re, queries[qb + qi].data(), qnorms[qi], 0, heaps[qi]);
+      }
+    }
+    for (size_t qi = 0; qi < nq; ++qi) {
+      results[qb + qi] = heaps[qi].Drain();
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
+    pool->ParallelFor(queries.size(), sweep);
+  } else {
+    sweep(0, queries.size());
+  }
+  return results;
+}
+
+// --- IvfL2Index -------------------------------------------------------------
+
 IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed)
-    : dim_(dim), nlist_(nlist), nprobe_(std::min(nprobe, nlist)), seed_(seed) {
+    : dim_(dim),
+      nlist_(nlist),
+      nprobe_(std::min(nprobe, nlist)),
+      seed_(seed),
+      centroids_(dim),
+      staged_(dim) {
   METIS_CHECK_GT(dim, 0u);
   METIS_CHECK_GT(nlist, 0u);
   METIS_CHECK_GT(nprobe, 0u);
@@ -57,26 +253,21 @@ IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed)
 
 void IvfL2Index::Add(ChunkId id, const Embedding& v) {
   METIS_CHECK_EQ(v.size(), dim_);
+  ++count_;
   if (!trained_) {
-    staged_.emplace_back(id, v);
+    staged_.Append(id, v.data());
     return;
   }
-  lists_[NearestCentroid(v)].push_back(ListEntry{id, v});
+  lists_[NearestCentroid(v.data())].Append(id, v.data());
 }
 
-size_t IvfL2Index::size() const {
-  size_t n = staged_.size();
-  for (const auto& l : lists_) {
-    n += l.size();
-  }
-  return n;
-}
-
-size_t IvfL2Index::NearestCentroid(const Embedding& v) const {
+size_t IvfL2Index::NearestCentroid(const float* v) const {
+  double vnorm = SquaredNormBlocked(v, dim_);
   size_t best = 0;
   float best_d = std::numeric_limits<float>::max();
   for (size_t c = 0; c < centroids_.size(); ++c) {
-    float d = L2DistanceSquared(centroids_[c], v);
+    float d =
+        static_cast<float>(centroids_.norm(c) + vnorm - 2.0 * DotBlocked(centroids_.row(c), v, dim_));
     if (d < best_d) {
       best_d = d;
       best = c;
@@ -85,84 +276,178 @@ size_t IvfL2Index::NearestCentroid(const Embedding& v) const {
   return best;
 }
 
-void IvfL2Index::Train() {
+void IvfL2Index::Train(ThreadPool* pool) {
   METIS_CHECK(!trained_);
-  METIS_CHECK(!staged_.empty());
-  size_t nlist = std::min(nlist_, staged_.size());
+  METIS_CHECK_GT(staged_.size(), 0u);
+  size_t n = staged_.size();
+  size_t nlist = std::min(nlist_, n);
 
-  // k-means++ style seeding from a deterministic stream, then Lloyd rounds.
+  auto parallel = [&](size_t count, const std::function<void(size_t, size_t)>& fn) {
+    if (pool != nullptr && pool->num_threads() > 1) {
+      pool->ParallelFor(count, fn);
+    } else {
+      fn(0, count);
+    }
+  };
+  auto copy_row = [&](size_t i) {
+    const float* r = staged_.row(i);
+    return Embedding(r, r + dim_);
+  };
+  auto rebuild_centroids = [&](const std::vector<Embedding>& cents) {
+    centroids_ = RowPool(dim_);
+    for (size_t c = 0; c < cents.size(); ++c) {
+      centroids_.Append(static_cast<ChunkId>(c), cents[c].data());
+    }
+  };
+
+  // Farthest-point seeding from a deterministic stream (approximates
+  // k-means++ well enough here). nearest_d[i] — the distance from row i to
+  // its closest centroid so far — is maintained incrementally: appending a
+  // centroid only needs one O(n * dim) sharded scan against that centroid,
+  // instead of the seed's O(n * ncentroids * dim) rescan per pick. min() is
+  // associative, so the incremental values (and the picks) are exact.
   Rng rng(seed_);
-  centroids_.clear();
-  centroids_.push_back(staged_[rng.Index(staged_.size())].second);
-  while (centroids_.size() < nlist) {
-    // Pick the staged vector farthest from its nearest centroid (deterministic
-    // farthest-point seeding approximates k-means++ well enough here).
+  std::vector<Embedding> cents;
+  cents.push_back(copy_row(rng.Index(n)));
+  std::vector<float> nearest_d(n, std::numeric_limits<float>::max());
+  auto absorb_centroid = [&](const Embedding& c) {
+    double cnorm = SquaredNormBlocked(c.data(), dim_);
+    parallel(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        float d = static_cast<float>(cnorm + staged_.norm(i) -
+                                     2.0 * DotBlocked(staged_.row(i), c.data(), dim_));
+        if (d < nearest_d[i]) {
+          nearest_d[i] = d;
+        }
+      }
+    });
+  };
+  absorb_centroid(cents.back());
+  while (cents.size() < nlist) {
     size_t best_i = 0;
     float best_d = -1;
-    for (size_t i = 0; i < staged_.size(); ++i) {
-      float d = std::numeric_limits<float>::max();
-      for (const auto& c : centroids_) {
-        d = std::min(d, L2DistanceSquared(c, staged_[i].second));
-      }
-      if (d > best_d) {
-        best_d = d;
+    for (size_t i = 0; i < n; ++i) {
+      if (nearest_d[i] > best_d) {
+        best_d = nearest_d[i];
         best_i = i;
       }
     }
-    centroids_.push_back(staged_[best_i].second);
+    cents.push_back(copy_row(best_i));
+    absorb_centroid(cents.back());
   }
 
-  for (int round = 0; round < 5; ++round) {
-    std::vector<Embedding> sums(centroids_.size(), Embedding(dim_, 0));
-    std::vector<size_t> counts(centroids_.size(), 0);
-    for (const auto& [id, v] : staged_) {
-      size_t c = NearestCentroid(v);
-      for (size_t j = 0; j < dim_; ++j) {
-        sums[c][j] += v[j];
+  // Lloyd rounds. Assignment (the O(n * nlist * dim) part) shards across the
+  // pool into a per-row slot; the float accumulation then runs serially in
+  // row order so centroids are bit-identical for every pool size.
+  std::vector<size_t> assign(n);
+  auto assign_all = [&]() {
+    parallel(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        assign[i] = NearestCentroid(staged_.row(i));
       }
-      ++counts[c];
+    });
+  };
+  for (int round = 0; round < 5; ++round) {
+    rebuild_centroids(cents);
+    assign_all();
+    std::vector<Embedding> sums(cents.size(), Embedding(dim_, 0));
+    std::vector<size_t> counts(cents.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const float* r = staged_.row(i);
+      Embedding& sum = sums[assign[i]];
+      for (size_t j = 0; j < dim_; ++j) {
+        sum[j] += r[j];
+      }
+      ++counts[assign[i]];
     }
-    for (size_t c = 0; c < centroids_.size(); ++c) {
+    for (size_t c = 0; c < cents.size(); ++c) {
       if (counts[c] > 0) {
         for (size_t j = 0; j < dim_; ++j) {
-          centroids_[c][j] = sums[c][j] / static_cast<float>(counts[c]);
+          cents[c][j] = sums[c][j] / static_cast<float>(counts[c]);
         }
       }
     }
   }
 
-  lists_.assign(centroids_.size(), {});
-  for (auto& [id, v] : staged_) {
-    lists_[NearestCentroid(v)].push_back(ListEntry{id, std::move(v)});
+  rebuild_centroids(cents);
+  assign_all();
+  lists_.assign(cents.size(), RowPool(dim_));
+  for (size_t i = 0; i < n; ++i) {
+    lists_[assign[i]].Append(staged_.id(i), staged_.row(i));
   }
-  staged_.clear();
+  staged_ = RowPool(dim_);
   trained_ = true;
 }
 
-std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k) const {
+std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k) const {
   METIS_CHECK(trained_);
-  METIS_CHECK_EQ(query.size(), dim_);
+  double qnorm = SquaredNormBlocked(q, dim_);
 
-  // Rank lists by centroid distance; probe the closest nprobe lists.
+  // Rank lists by centroid distance; probe the closest nprobe lists. Ties
+  // resolve toward the lower list index (pair comparison), as in the seed.
   std::vector<std::pair<float, size_t>> order;
   order.reserve(centroids_.size());
   for (size_t c = 0; c < centroids_.size(); ++c) {
-    order.emplace_back(L2DistanceSquared(centroids_[c], query), c);
+    order.emplace_back(
+        static_cast<float>(centroids_.norm(c) + qnorm - 2.0 * DotBlocked(centroids_.row(c), q, dim_)),
+        c);
   }
   std::stable_sort(order.begin(), order.end());
 
-  std::vector<SearchHit> hits;
+  // Candidate order runs through the probed lists in probe order, matching
+  // the seed's concatenate-then-stable-sort tie-break.
+  BoundedTopK topk(k);
+  size_t base = 0;
   size_t probes = std::min(nprobe_, order.size());
   for (size_t p = 0; p < probes; ++p) {
-    for (const auto& entry : lists_[order[p].second]) {
-      hits.push_back(SearchHit{entry.id, L2DistanceSquared(entry.v, query)});
-    }
+    const RowPool& list = lists_[order[p].second];
+    ScanRows(list, 0, list.size(), q, qnorm, base, topk);
+    base += list.size();
   }
-  return TopK(std::move(hits), k);
+  return topk.Drain();
 }
 
+std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k) const {
+  METIS_CHECK_EQ(query.size(), dim_);
+  return SearchOne(query.data(), k);
+}
+
+std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Embedding>& queries,
+                                                            size_t k, ThreadPool* pool) const {
+  METIS_CHECK(trained_);
+  for (const Embedding& q : queries) {
+    METIS_CHECK_EQ(q.size(), dim_);
+  }
+  std::vector<std::vector<SearchHit>> results(queries.size());
+  if (queries.empty()) {
+    return results;
+  }
+  auto sweep = [&](size_t qb, size_t qe) {
+    for (size_t qi = qb; qi < qe; ++qi) {
+      results[qi] = SearchOne(queries[qi].data(), k);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
+    pool->ParallelFor(queries.size(), sweep);
+  } else {
+    sweep(0, queries.size());
+  }
+  return results;
+}
+
+// --- VectorDatabase ---------------------------------------------------------
+
+namespace {
+// Query texts repeat across profiler probes, config sweeps, and feedback
+// runs, but the working set per run is modest.
+constexpr size_t kQueryCacheCapacity = 512;
+}  // namespace
+
 VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata)
-    : embedder_(std::move(embedder)), metadata_(std::move(metadata)), index_(embedder_.dim()) {}
+    : embedder_(std::move(embedder)),
+      metadata_(std::move(metadata)),
+      index_(embedder_.dim()),
+      query_cache_(&embedder_, kQueryCacheCapacity) {}
 
 ChunkId VectorDatabase::AddChunk(Chunk chunk) {
   chunk.id = static_cast<ChunkId>(chunks_.size());
@@ -173,7 +458,18 @@ ChunkId VectorDatabase::AddChunk(Chunk chunk) {
 
 std::vector<SearchHit> VectorDatabase::RetrieveWithDistances(const std::string& query_text,
                                                              size_t k) const {
-  return index_.Search(embedder_.Embed(query_text), k);
+  return index_.Search(query_cache_.Get(query_text), k);
+}
+
+std::vector<std::vector<SearchHit>> VectorDatabase::RetrieveBatch(
+    const std::vector<std::string>& query_texts, size_t k) const {
+  std::vector<Embedding> queries;
+  queries.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    // Copy out of the cache: a later Get() in this loop may evict the slot.
+    queries.push_back(query_cache_.Get(text));
+  }
+  return index_.SearchBatch(queries, k, search_pool_);
 }
 
 std::vector<ChunkId> VectorDatabase::Retrieve(const std::string& query_text, size_t k) const {

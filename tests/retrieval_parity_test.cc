@@ -1,0 +1,321 @@
+// Parity property tests for the high-throughput retrieval substrate.
+//
+// The rebuilt vectordb (SoA rows + norm-trick distances + bounded-heap top-k
+// + batched/threaded sweeps) must return *exactly* the seed implementation's
+// rankings: same ids, same order, including insertion-order tie-breaks on
+// duplicate-distance inputs. The reference oracle is the frozen seed copy in
+// src/vectordb/seed_reference.h (scalar double-precision loop, materialize
+// every candidate, stable_sort, truncate).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/retrieval_batcher.h"
+#include "src/sim/simulator.h"
+#include "src/vectordb/seed_reference.h"
+#include "src/vectordb/vectordb.h"
+
+namespace metis {
+namespace {
+
+void ExpectSameRanking(const std::vector<SearchHit>& got, const std::vector<SearchHit>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << context << " rank " << i;
+  }
+}
+
+// --- Flat parity ------------------------------------------------------------
+
+TEST(RetrievalParityTest, FlatMatchesSeedOnRandomInputs) {
+  for (size_t dim : {7u, 64u, 256u}) {
+    for (size_t n : {1u, 13u, 400u}) {
+      Rng rng(0x5EED ^ (dim * 1315423911u) ^ n);
+      FlatL2Index index(dim);
+      SeedFlatIndex seed(dim);
+      for (size_t i = 0; i < n; ++i) {
+        Embedding v = RandomUnitVector(rng, dim);
+        // Non-contiguous ids to catch id/row mixups.
+        ChunkId id = static_cast<ChunkId>(7 * i + 3);
+        index.Add(id, v);
+        seed.Add(id, v);
+      }
+      for (size_t k : {size_t{1}, size_t{7}, n, n + 5}) {
+        for (int q = 0; q < 8; ++q) {
+          Embedding query = RandomUnitVector(rng, dim);
+          ExpectSameRanking(index.Search(query, k), seed.Search(query, k),
+                            "dim=" + std::to_string(dim) + " n=" + std::to_string(n) +
+                                " k=" + std::to_string(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(RetrievalParityTest, FlatMatchesSeedOnAdversarialDuplicateDistances) {
+  // 150 rows drawn from only 6 distinct vectors: almost everything is an
+  // exact distance tie, so any deviation from insertion-order tie-breaking
+  // shows up immediately. Queries include the duplicated vectors themselves
+  // (distance exactly 0 for whole groups of rows).
+  const size_t kDim = 16;
+  Rng rng(0xD0D0);
+  std::vector<Embedding> basis;
+  for (int b = 0; b < 6; ++b) {
+    basis.push_back(RandomUnitVector(rng, kDim));
+  }
+  FlatL2Index index(kDim);
+  SeedFlatIndex seed(kDim);
+  for (int i = 0; i < 150; ++i) {
+    const Embedding& v = basis[static_cast<size_t>(rng.UniformInt(0, 5))];
+    index.Add(i, v);
+    seed.Add(i, v);
+  }
+  std::vector<Embedding> queries = basis;
+  queries.push_back(RandomUnitVector(rng, kDim));
+  for (size_t k : {size_t{3}, size_t{17}, size_t{150}, size_t{200}}) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ExpectSameRanking(index.Search(queries[q], k), seed.Search(queries[q], k),
+                        "dup k=" + std::to_string(k) + " q=" + std::to_string(q));
+    }
+  }
+}
+
+TEST(RetrievalParityTest, FlatSearchEdgeCases) {
+  FlatL2Index index(4);
+  EXPECT_TRUE(index.Search(Embedding(4, 0.0f), 3).empty());  // Empty index.
+  index.Add(9, Embedding(4, 0.5f));
+  EXPECT_TRUE(index.Search(Embedding(4, 0.0f), 0).empty());  // k == 0.
+  auto hits = index.Search(Embedding(4, 0.5f), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 9);
+  // Same bits in, same accumulation structure -> exact zero self-distance.
+  EXPECT_EQ(hits[0].distance, 0.0f);
+}
+
+// --- Batched parity across thread counts ------------------------------------
+
+TEST(RetrievalParityTest, SearchBatchMatchesSeedForEveryThreadCount) {
+  const size_t kDim = 48;
+  Rng rng(0xBA7C4);
+  FlatL2Index index(kDim);
+  SeedFlatIndex seed(kDim);
+  std::vector<Embedding> stored;
+  for (int i = 0; i < 300; ++i) {
+    // A third of the rows duplicate an earlier row: ties must survive
+    // batching and threading too.
+    Embedding v = (i >= 100 && i % 3 == 0) ? stored[static_cast<size_t>(i) / 2]
+                                           : RandomUnitVector(rng, kDim);
+    stored.push_back(v);
+    index.Add(i, v);
+    seed.Add(i, v);
+  }
+  std::vector<Embedding> queries;
+  for (int q = 0; q < 33; ++q) {
+    queries.push_back(q % 4 == 0 ? stored[static_cast<size_t>(q) * 7]
+                                 : RandomUnitVector(rng, kDim));
+  }
+
+  const size_t kK = 12;
+  std::vector<std::vector<SearchHit>> want;
+  want.reserve(queries.size());
+  for (const Embedding& q : queries) {
+    want.push_back(seed.Search(q, kK));
+  }
+
+  // No pool (inline), then pools of 1, 2, 4, 8 workers.
+  for (size_t threads : {0u, 1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    auto got = index.SearchBatch(queries, kK, threads == 0 ? nullptr : &pool);
+    ASSERT_EQ(got.size(), queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      ExpectSameRanking(got[qi], want[qi],
+                        "threads=" + std::to_string(threads) + " q=" + std::to_string(qi));
+    }
+  }
+}
+
+// --- IVF --------------------------------------------------------------------
+
+TEST(RetrievalParityTest, IvfExhaustiveProbeMatchesFlatOnTieFreeInputs) {
+  // With nprobe == nlist the IVF index scans every row; on tie-free inputs
+  // (random distinct vectors) its ranking must equal the flat index's.
+  const size_t kDim = 24;
+  Rng rng(0x1F1F);
+  FlatL2Index flat(kDim);
+  IvfL2Index ivf(kDim, 8, 8, 77);
+  for (int i = 0; i < 200; ++i) {
+    Embedding v = RandomUnitVector(rng, kDim);
+    flat.Add(i, v);
+    ivf.Add(i, v);
+  }
+  ivf.Train();
+  for (int q = 0; q < 10; ++q) {
+    Embedding query = RandomUnitVector(rng, kDim);
+    ExpectSameRanking(ivf.Search(query, 15), flat.Search(query, 15), "q=" + std::to_string(q));
+  }
+}
+
+TEST(RetrievalParityTest, IvfSearchBatchMatchesSequentialSearch) {
+  const size_t kDim = 24;
+  Rng rng(0xABCD);
+  IvfL2Index ivf(kDim, 6, 2, 7);
+  for (int i = 0; i < 180; ++i) {
+    ivf.Add(i, RandomUnitVector(rng, kDim));
+  }
+  ivf.Train();
+  std::vector<Embedding> queries;
+  for (int q = 0; q < 17; ++q) {
+    queries.push_back(RandomUnitVector(rng, kDim));
+  }
+  for (size_t threads : {0u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    auto got = ivf.SearchBatch(queries, 9, threads == 0 ? nullptr : &pool);
+    ASSERT_EQ(got.size(), queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      ExpectSameRanking(got[qi], ivf.Search(queries[qi], 9), "q=" + std::to_string(qi));
+    }
+  }
+}
+
+TEST(RetrievalParityTest, IvfTrainIsDeterministicAcrossThreadCounts) {
+  const size_t kDim = 32;
+  auto build = [&](ThreadPool* pool) {
+    Rng rng(0x7A17);
+    IvfL2Index ivf(kDim, 10, 3, 123);
+    for (int i = 0; i < 250; ++i) {
+      ivf.Add(i, RandomUnitVector(rng, kDim));
+    }
+    ivf.Train(pool);
+    return ivf;
+  };
+  IvfL2Index serial = build(nullptr);
+  ThreadPool pool8(8);
+  IvfL2Index threaded = build(&pool8);
+
+  Rng qrng(0x9999);
+  for (int q = 0; q < 12; ++q) {
+    Embedding query = RandomUnitVector(qrng, kDim);
+    auto a = serial.Search(query, 11);
+    auto b = threaded.Search(query, 11);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "q=" << q << " rank=" << i;
+      EXPECT_EQ(a[i].distance, b[i].distance) << "q=" << q << " rank=" << i;
+    }
+  }
+}
+
+// --- Database-level batching + memo cache ------------------------------------
+
+std::unique_ptr<VectorDatabase> MakeDb() {
+  auto db = std::make_unique<VectorDatabase>(
+      EmbeddingModel(GetEmbeddingModel("all-mpnet-base-v2-sim")),
+      DatabaseMetadata{"parity corpus", 64, "test"});
+  const char* texts[] = {
+      "the kimbrough stadium sits in randall county texas",
+      "quarterly semiconductor revenue beat analyst expectations",
+      "the committee meeting adjourned after the budget vote",
+      "rainfall totals in the river basin broke the seasonal record",
+      "the stadium hosted the county championship game in randall",
+      "chip fabrication capacity expanded across three new plants",
+  };
+  for (const char* t : texts) {
+    Chunk c;
+    c.text = t;
+    db->AddChunk(std::move(c));
+  }
+  return db;
+}
+
+TEST(RetrievalParityTest, RetrieveBatchMatchesSequentialRetrieve) {
+  std::unique_ptr<VectorDatabase> dbp = MakeDb();
+  VectorDatabase& db = *dbp;
+  std::vector<std::string> queries = {
+      "what county is the kimbrough stadium in",
+      "semiconductor revenue this quarter",
+      "what county is the kimbrough stadium in",  // Repeat: exercises the cache.
+      "budget vote at the committee meeting",
+  };
+  auto batched = db.RetrieveBatch(queries, 4);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto direct = db.RetrieveWithDistances(queries[i], 4);
+    ExpectSameRanking(batched[i], direct, "query " + std::to_string(i));
+  }
+  // 4 unique texts total across both passes; everything else was memoized.
+  EXPECT_GT(db.query_cache_hits(), 0u);
+}
+
+TEST(RetrievalParityTest, TruncatedBatchWidthIsAPrefixOfWiderSearch) {
+  // The batcher serves mixed-k groups from one max-k sweep; that is only
+  // sound if top-k lists are prefix-consistent.
+  std::unique_ptr<VectorDatabase> dbp = MakeDb();
+  VectorDatabase& db = *dbp;
+  auto wide = db.RetrieveWithDistances("stadium county game", 6);
+  for (size_t k = 1; k <= 6; ++k) {
+    auto narrow = db.RetrieveWithDistances("stadium county game", k);
+    ASSERT_EQ(narrow.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(narrow[i].id, wide[i].id) << "k=" << k << " rank=" << i;
+    }
+  }
+}
+
+TEST(RetrievalParityTest, RetrievalBatcherCoalescesSameTickRequests) {
+  std::unique_ptr<VectorDatabase> dbp = MakeDb();
+  VectorDatabase& db = *dbp;
+  Simulator sim;
+  RetrievalBatcher batcher(&sim, &db, 0.004);
+
+  struct Got {
+    SimTime at = -1;
+    std::vector<ChunkId> ids;
+  };
+  std::vector<Got> got(4);
+  std::vector<std::string> queries = {
+      "what county is the kimbrough stadium in",
+      "semiconductor revenue this quarter",
+      "budget vote at the committee meeting",
+      "rainfall in the river basin",
+  };
+  // Three requests at t=0 (with different k!), one more at t=0.001.
+  for (size_t i = 0; i < 3; ++i) {
+    batcher.Submit(queries[i], i + 1, [&, i](std::vector<ChunkId> ids) {
+      got[i].at = sim.now();
+      got[i].ids = std::move(ids);
+    });
+  }
+  sim.ScheduleAt(0.001, [&]() {
+    batcher.Submit(queries[3], 2, [&](std::vector<ChunkId> ids) {
+      got[3].at = sim.now();
+      got[3].ids = std::move(ids);
+    });
+  });
+  sim.Run();
+
+  // Timing is exactly Submit + delay, per request.
+  EXPECT_DOUBLE_EQ(got[0].at, 0.004);
+  EXPECT_DOUBLE_EQ(got[1].at, 0.004);
+  EXPECT_DOUBLE_EQ(got[2].at, 0.004);
+  EXPECT_DOUBLE_EQ(got[3].at, 0.005);
+  // The same-tick trio shared one sweep; the straggler got its own.
+  EXPECT_EQ(batcher.requests(), 4u);
+  EXPECT_EQ(batcher.batches_issued(), 2u);
+  EXPECT_EQ(batcher.max_batch_size(), 3u);
+  // Results identical to direct per-query retrieval at the requested widths.
+  for (size_t i = 0; i < 4; ++i) {
+    size_t k = i < 3 ? i + 1 : 2;
+    EXPECT_EQ(got[i].ids, db.Retrieve(queries[i], k)) << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace metis

@@ -1,0 +1,84 @@
+// Unit tests for the fixed-size worker pool behind batched retrieval.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace metis {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (size_t threads : {0u, 1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> touched(n);
+    pool.ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        touched[i].fetch_add(1);
+      }
+    });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(touched[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);  // n == 0: nothing runs.
+
+  std::vector<int> hits(2, 0);
+  pool.ParallelFor(2, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);  // n < threads still covers everything.
+}
+
+TEST(ThreadPoolTest, ShardBoundariesAreContiguousAndDeterministic) {
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    std::vector<std::pair<size_t, size_t>> shards(4, {SIZE_MAX, SIZE_MAX});
+    std::atomic<size_t> next{0};
+    pool.ParallelFor(10, [&](size_t begin, size_t end) {
+      shards[next.fetch_add(1)] = {begin, end};
+    });
+    std::sort(shards.begin(), shards.end());
+    // 10 over 4 shards: 3,3,2,2 — contiguous, in index order once sorted.
+    EXPECT_EQ(shards[0], (std::pair<size_t, size_t>{0, 3}));
+    EXPECT_EQ(shards[1], (std::pair<size_t, size_t>{3, 6}));
+    EXPECT_EQ(shards[2], (std::pair<size_t, size_t>{6, 8}));
+    EXPECT_EQ(shards[3], (std::pair<size_t, size_t>{8, 10}));
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(2);
+  std::vector<long> data(500);
+  std::iota(data.begin(), data.end(), 0);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.ParallelFor(data.size(), [&](size_t begin, size_t end) {
+      long local = 0;
+      for (size_t i = begin; i < end; ++i) {
+        local += data[i];
+      }
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 500L * 499 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace metis
