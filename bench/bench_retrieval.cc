@@ -22,6 +22,7 @@
 #include "src/common/strings.h"
 #include "src/common/table.h"
 #include "src/common/thread_pool.h"
+#include "src/vectordb/kernels.h"
 #include "src/vectordb/seed_reference.h"
 #include "src/vectordb/vectordb.h"
 
@@ -134,6 +135,32 @@ int main(int argc, char** argv) {
   seed_m.p99_ms = seed_lat_ms.p99();
   record("flat_seed_scalar_t1_b1", "flat_seed_scalar", 1, 1, seed_m);
 
+  // --- Kernel dispatch tiers (single thread, batch 1) ---
+  // One row per CPU-supported tier, so the perf trajectory separates "wider
+  // SIMD" from the substrate-level wins. Rankings are bit-identical across
+  // tiers (see kernels.h); only throughput may differ.
+  {
+    Table tier_table("bench_retrieval: flat QPS per kernel dispatch tier (t=1, b=1)");
+    tier_table.SetHeader({"tier", "qps", "p50_ms", "p99_ms"});
+    for (KernelTarget target :
+         {KernelTarget::kScalar, KernelTarget::kAvx2, KernelTarget::kAvx512}) {
+      if (!KernelTargetSupported(target)) {
+        std::printf("  [SKIP] kernel tier %s: not supported by this CPU\n",
+                    KernelTargetName(target));
+        continue;
+      }
+      SetKernelTarget(target);
+      flat.SearchBatch({queries[0]}, kTopK, nullptr);  // Warmup under this tier.
+      Measurement m = MeasureBatched(flat, queries, kTopK, 1, nullptr);
+      record(StrFormat("flat_blocked_%s_t1_b1", KernelTargetName(target)),
+             StrFormat("flat_blocked_%s", KernelTargetName(target)), 1, 1, m);
+      tier_table.AddRow({KernelTargetName(target), Table::Num(m.qps, 0),
+                         Table::Num(m.p50_ms, 3), Table::Num(m.p99_ms, 3)});
+    }
+    ResetKernelTarget();
+    tier_table.Print();
+  }
+
   // --- Blocked flat + IVF across threads and batch sizes ---
   const std::vector<size_t> kThreads = {1, 2, 4, 8};
   const std::vector<size_t> kBatches = {1, 4, 16, 64};
@@ -212,6 +239,7 @@ int main(int argc, char** argv) {
   BenchJsonRecord summary;
   summary.name = "summary";
   summary.tags = {{"impl", "summary"}};
+  summary.tags.emplace_back("kernel", KernelTargetName(ActiveKernelTarget()));
   summary.metrics = {{"n", static_cast<double>(n)},
                      {"dim", static_cast<double>(dim)},
                      {"k", static_cast<double>(kTopK)},

@@ -6,6 +6,14 @@
 
 namespace metis {
 
+RetrievalQuality RetrievalQualityFromOptions(const JointSchedulerOptions& options) {
+  RetrievalQuality quality;
+  quality.mode = options.adaptive_nprobe ? RetrievalQuality::ProbeMode::kAdaptive
+                                         : RetrievalQuality::ProbeMode::kFixed;
+  quality.nprobe = options.nprobe_budget;
+  return quality;
+}
+
 JointScheduler::JointScheduler(const LlmEngine* engine, const SynthesisExecutor* executor,
                                int intermediate_stride, JointSchedulerOptions options)
     : engine_(engine),

@@ -52,7 +52,22 @@ struct JointSchedulerOptions {
   // the switch exists so the design ablation can attribute the
   // retrieval-substrate work separately.
   bool coalesce_retrieval = true;
+  // Retrieval-depth quality knob (METIS treats nprobe like its other knobs:
+  // spend retrieval work where quality needs it). Only bites when the
+  // dataset's VectorDatabase runs the approximate IVF backend — the paper's
+  // default flat (exact) backend ignores it, so these defaults are
+  // behaviour-neutral for the stock experiments.
+  //   adaptive_nprobe: per-query adaptive probing (distance-ratio early
+  //     termination, vectordb.h) instead of a fixed probe count.
+  //   nprobe_budget: probe count (fixed mode) or per-query budget (adaptive
+  //     mode); 0 = the index's configured default.
+  bool adaptive_nprobe = true;
+  size_t nprobe_budget = 0;
 };
+
+// The RetrievalQuality handed to SynthesisExecutor / RetrievalBatcher for a
+// stack built under `options`.
+RetrievalQuality RetrievalQualityFromOptions(const JointSchedulerOptions& options);
 
 class JointScheduler {
  public:

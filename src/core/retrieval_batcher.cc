@@ -8,8 +8,8 @@
 namespace metis {
 
 RetrievalBatcher::RetrievalBatcher(Simulator* sim, const VectorDatabase* db,
-                                   double delay_seconds)
-    : sim_(sim), db_(db), delay_(delay_seconds) {
+                                   double delay_seconds, RetrievalQuality quality)
+    : sim_(sim), db_(db), delay_(delay_seconds), quality_(quality) {
   METIS_CHECK(sim != nullptr);
   METIS_CHECK(db != nullptr);
   METIS_CHECK_GE(delay_seconds, 0.0);
@@ -47,7 +47,7 @@ void RetrievalBatcher::Deliver() {
     // One shared sweep at the largest requested width; per-request widths
     // are prefixes of it (top-k lists are prefix-consistent under the
     // index's (distance, insertion-order) total order).
-    std::vector<std::vector<SearchHit>> hits = db_->RetrieveBatch(texts, max_k);
+    std::vector<std::vector<SearchHit>> hits = db_->RetrieveBatch(texts, max_k, quality_);
     ++batches_;
     max_batch_ = std::max(max_batch_, group);
     for (size_t i = 0; i < group; ++i) {

@@ -34,7 +34,13 @@ class RetrievalBatcher {
  public:
   using Callback = std::function<void(std::vector<ChunkId>)>;
 
-  RetrievalBatcher(Simulator* sim, const VectorDatabase* db, double delay_seconds);
+  // `quality` is applied to every coalesced sweep (the serving stack's
+  // retrieval-depth knob, from JointSchedulerOptions); the default leaves the
+  // database's own index policy in charge. Probe selection depends only on
+  // the query (never on k), so mixed-k groups stay prefix-consistent under
+  // any quality setting.
+  RetrievalBatcher(Simulator* sim, const VectorDatabase* db, double delay_seconds,
+                   RetrievalQuality quality = {});
 
   // Requests the top-k chunks for `query_text`; `cb` runs in simulation
   // context exactly delay_seconds from now.
@@ -51,6 +57,7 @@ class RetrievalBatcher {
   Simulator* sim_;
   const VectorDatabase* db_;
   double delay_;
+  RetrievalQuality quality_;
 
   struct Pending {
     std::string text;

@@ -127,13 +127,16 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     DatasetStack& ds = stacks[d];
     ds.dataset = GetOrGenerateDataset(spec.datasets[d], spec.queries_per_dataset,
                                       spec.embedding_model, spec.seed);
+    RetrievalQuality retrieval_quality = RetrievalQualityFromOptions(spec.scheduler);
     if (spec.scheduler.coalesce_retrieval) {
       ds.batcher = std::make_unique<RetrievalBatcher>(&sim, &ds.dataset->db(),
-                                                      SynthesisExecutor::kRetrievalSeconds);
+                                                      SynthesisExecutor::kRetrievalSeconds,
+                                                      retrieval_quality);
     }
     ds.executor = std::make_unique<SynthesisExecutor>(&sim, &engine, &behavior,
                                                       ds.dataset.get(),
                                                       spec.seed ^ 0x5E1Full, ds.batcher.get());
+    ds.executor->set_retrieval_quality(retrieval_quality);
     auto sink = [records = &ds.records](QueryRecord rec) { records->push_back(std::move(rec)); };
 
     RagConfig fixed = spec.fixed_configs[std::min(d, spec.fixed_configs.size() - 1)];
@@ -261,13 +264,16 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   stack.engine = std::make_unique<LlmEngine>(&stack.sim, ecfg, spec.seed);
 
   stack.behavior = std::make_unique<BehaviorModel>(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
+  RetrievalQuality retrieval_quality = RetrievalQualityFromOptions(spec.scheduler);
   if (spec.scheduler.coalesce_retrieval) {
     stack.batcher = std::make_unique<RetrievalBatcher>(&stack.sim, &dataset->db(),
-                                                       SynthesisExecutor::kRetrievalSeconds);
+                                                       SynthesisExecutor::kRetrievalSeconds,
+                                                       retrieval_quality);
   }
   stack.executor = std::make_unique<SynthesisExecutor>(&stack.sim, stack.engine.get(),
                                                        stack.behavior.get(), dataset.get(),
                                                        spec.seed ^ 0x5E1Full, stack.batcher.get());
+  stack.executor->set_retrieval_quality(retrieval_quality);
 
   RunMetrics metrics;
   metrics.spec = spec;

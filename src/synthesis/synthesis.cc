@@ -156,7 +156,7 @@ void SynthesisExecutor::RetrieveChunks(const RagQuery& query, int num_chunks,
   }
   sim_->ScheduleAfter(kRetrievalSeconds,
                       [this, text = query.text, k, then = std::move(then)]() mutable {
-                        then(dataset_->db().Retrieve(text, k));
+                        then(dataset_->db().Retrieve(text, k, retrieval_quality_));
                       });
 }
 

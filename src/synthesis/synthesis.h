@@ -62,6 +62,12 @@ class SynthesisExecutor {
   void Execute(const RagQuery& query, const RagConfig& config,
                std::function<void(RagResult)> done);
 
+  // Retrieval-depth knob applied to every direct (non-batcher) retrieval;
+  // a batcher carries its own copy. No-op on exact (flat) index backends.
+  // Set once at stack-build time (runner), before queries execute.
+  void set_retrieval_quality(const RetrievalQuality& quality) { retrieval_quality_ = quality; }
+  const RetrievalQuality& retrieval_quality() const { return retrieval_quality_; }
+
   // --- Prompt-size estimators (used by METIS's joint scheduler, §4.3) ---
   int StuffPromptTokens(int query_tokens, int num_chunks) const;
   int MapperPromptTokens(int query_tokens) const;
@@ -104,6 +110,7 @@ class SynthesisExecutor {
   const Dataset* dataset_;
   uint64_t seed_;
   RetrievalBatcher* batcher_;
+  RetrievalQuality retrieval_quality_;
 };
 
 }  // namespace metis

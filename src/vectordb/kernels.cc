@@ -1,0 +1,258 @@
+// Runtime-dispatched SIMD dot kernels. See kernels.h for the contract: every
+// tier returns the bit-identical double, so this file is deliberately rigid
+// about accumulation structure:
+//
+//   - element i feeds chain (i mod 8); a chain's additions happen in index
+//     order (strictly sequential per chain);
+//   - each element contributes round(round-to-double(a)*round-to-double(b))
+//     via a separate multiply and add — never an FMA. The float->double
+//     conversions are exact, the product is rounded once, the add once; the
+//     intrinsic tiers use mul_pd + add_pd and this TU is compiled with
+//     -ffp-contract=off so the scalar tier cannot be contracted either;
+//   - the eight chains reduce through the fixed halving tree
+//     ((c0+c4)+(c2+c6)) + ((c1+c5)+(c3+c7)), which is exactly what a
+//     log2-halving SIMD reduction computes, then the scalar tail is added.
+//
+// Change any of these and the tiers stop agreeing in the last ulp, the float
+// distances can round differently, and the cross-target ranking parity the
+// tests assert is gone.
+
+#include "src/vectordb/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define METIS_KERNELS_X86 1
+#else
+#define METIS_KERNELS_X86 0
+#endif
+
+#include "src/common/check.h"
+
+namespace metis {
+namespace {
+
+// --- Scalar tier ------------------------------------------------------------
+
+double DotScalar(const float* a, const float* b, size_t n) {
+  double acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  double acc4 = 0, acc5 = 0, acc6 = 0, acc7 = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 += static_cast<double>(a[i + 0]) * b[i + 0];
+    acc1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<double>(a[i + 3]) * b[i + 3];
+    acc4 += static_cast<double>(a[i + 4]) * b[i + 4];
+    acc5 += static_cast<double>(a[i + 5]) * b[i + 5];
+    acc6 += static_cast<double>(a[i + 6]) * b[i + 6];
+    acc7 += static_cast<double>(a[i + 7]) * b[i + 7];
+  }
+  double tail = 0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return (((acc0 + acc4) + (acc2 + acc6)) + ((acc1 + acc5) + (acc3 + acc7))) + tail;
+}
+
+#if METIS_KERNELS_X86
+
+// GCC's _mm512_cvtps_pd / _mm512_extractf64x4_pd expand through
+// _mm*_undefined_pd(), whose deliberately-uninitialized value trips
+// -Wuninitialized in the instantiating TU. Header-internal false positive;
+// scoped off for the intrinsic tiers only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// --- AVX2 tier --------------------------------------------------------------
+//
+// Accumulator lo holds chains 0..3, hi holds chains 4..7. Each 8-element step
+// loads 8 floats per operand, widens 4+4 to double, and does one mul_pd +
+// add_pd per half — lane j of lo/hi performs precisely scalar chain j's
+// operations in the same order.
+__attribute__((target("avx2"))) double DotAvx2(const float* a, const float* b, size_t n) {
+  __m256d lo = _mm256_setzero_pd();  // Chains 0..3.
+  __m256d hi = _mm256_setzero_pd();  // Chains 4..7.
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d a_lo = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    __m256d a_hi = _mm256_cvtps_pd(_mm_loadu_ps(a + i + 4));
+    __m256d b_lo = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    __m256d b_hi = _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4));
+    lo = _mm256_add_pd(lo, _mm256_mul_pd(a_lo, b_lo));
+    hi = _mm256_add_pd(hi, _mm256_mul_pd(a_hi, b_hi));
+  }
+  // s4 = [c0+c4, c1+c5, c2+c6, c3+c7]; halve again and the scalar tree falls
+  // out: lane0+lane1 of s2 = ((c0+c4)+(c2+c6)) + ((c1+c5)+(c3+c7)).
+  __m256d s4 = _mm256_add_pd(lo, hi);
+  __m128d s2 = _mm_add_pd(_mm256_castpd256_pd128(s4), _mm256_extractf128_pd(s4, 1));
+  double sum = _mm_cvtsd_f64(_mm_add_sd(s2, _mm_unpackhi_pd(s2, s2)));
+  double tail = 0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return sum + tail;
+}
+
+// --- AVX-512 tier -----------------------------------------------------------
+//
+// One zmm accumulator holds all eight chains; each 8-element step widens both
+// operands' 8 floats to 8 doubles and does one mul_pd + add_pd.
+__attribute__((target("avx512f"))) double DotAvx512(const float* a, const float* b, size_t n) {
+  __m512d acc = _mm512_setzero_pd();  // Lane j = chain j.
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d av = _mm512_cvtps_pd(_mm256_loadu_ps(a + i));
+    __m512d bv = _mm512_cvtps_pd(_mm256_loadu_ps(b + i));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(av, bv));
+  }
+  // Halving reduction == the scalar tree (see DotAvx2).
+  __m256d s4 = _mm256_add_pd(_mm512_castpd512_pd256(acc), _mm512_extractf64x4_pd(acc, 1));
+  __m128d s2 = _mm_add_pd(_mm256_castpd256_pd128(s4), _mm256_extractf128_pd(s4, 1));
+  double sum = _mm_cvtsd_f64(_mm_add_sd(s2, _mm_unpackhi_pd(s2, s2)));
+  double tail = 0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return sum + tail;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // METIS_KERNELS_X86
+
+// --- Dispatch ---------------------------------------------------------------
+
+DotKernelFn KernelForTarget(KernelTarget target) {
+  switch (target) {
+#if METIS_KERNELS_X86
+    case KernelTarget::kAvx2:
+      return &DotAvx2;
+    case KernelTarget::kAvx512:
+      return &DotAvx512;
+#endif
+    default:
+      return &DotScalar;
+  }
+}
+
+KernelTarget DefaultTarget() {
+  const char* env = std::getenv("METIS_KERNEL_TARGET");
+  if (env != nullptr) {
+    for (KernelTarget t : {KernelTarget::kScalar, KernelTarget::kAvx2, KernelTarget::kAvx512}) {
+      if (std::strcmp(env, KernelTargetName(t)) == 0 && KernelTargetSupported(t)) {
+        return t;
+      }
+    }
+    // An ignored override silently mislabels every downstream measurement —
+    // say so once, at resolution time.
+    std::fprintf(stderr,
+                 "metis: ignoring METIS_KERNEL_TARGET=%s (unknown or unsupported "
+                 "on this CPU); dispatching to %s\n",
+                 env, KernelTargetName(BestSupportedTarget()));
+  }
+  return BestSupportedTarget();
+}
+
+struct Dispatch {
+  std::atomic<KernelTarget> target;
+  std::atomic<DotKernelFn> fn;
+
+  Dispatch() {
+    KernelTarget t = DefaultTarget();
+    target.store(t, std::memory_order_relaxed);
+    fn.store(KernelForTarget(t), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& dispatch() {
+  static Dispatch d;  // Resolved once, on first use (thread-safe static init).
+  return d;
+}
+
+}  // namespace
+
+const char* KernelTargetName(KernelTarget target) {
+  switch (target) {
+    case KernelTarget::kScalar:
+      return "scalar";
+    case KernelTarget::kAvx2:
+      return "avx2";
+    case KernelTarget::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool KernelTargetSupported(KernelTarget target) {
+  switch (target) {
+    case KernelTarget::kScalar:
+      return true;
+#if METIS_KERNELS_X86
+    case KernelTarget::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case KernelTarget::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+    case KernelTarget::kAvx2:
+    case KernelTarget::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelTarget BestSupportedTarget() {
+  // AVX2 outranks AVX-512 on purpose. The 8-chain determinism contract makes
+  // the kernel bound by accumulator-add latency, and the AVX2 tier keeps TWO
+  // independent vector-add dependency chains in flight (lo/hi registers)
+  // where the AVX-512 tier's single zmm accumulator is one serial chain —
+  // measured consistently faster (bench_retrieval's per-tier rows). Wider is
+  // not better until the contract allows more chains; re-measure if that
+  // changes.
+  if (KernelTargetSupported(KernelTarget::kAvx2)) {
+    return KernelTarget::kAvx2;
+  }
+  if (KernelTargetSupported(KernelTarget::kAvx512)) {
+    return KernelTarget::kAvx512;
+  }
+  return KernelTarget::kScalar;
+}
+
+KernelTarget ActiveKernelTarget() {
+  return dispatch().target.load(std::memory_order_relaxed);
+}
+
+bool SetKernelTarget(KernelTarget target) {
+  if (!KernelTargetSupported(target)) {
+    return false;
+  }
+  dispatch().target.store(target, std::memory_order_relaxed);
+  dispatch().fn.store(KernelForTarget(target), std::memory_order_relaxed);
+  return true;
+}
+
+void ResetKernelTarget() {
+  METIS_CHECK(SetKernelTarget(DefaultTarget()));
+}
+
+double DotBlocked(const float* a, const float* b, size_t n) {
+  return dispatch().fn.load(std::memory_order_relaxed)(a, b, n);
+}
+
+double SquaredNormBlocked(const float* a, size_t n) { return DotBlocked(a, a, n); }
+
+double DotBlockedTarget(KernelTarget target, const float* a, const float* b, size_t n) {
+  METIS_CHECK(KernelTargetSupported(target));
+  return KernelForTarget(target)(a, b, n);
+}
+
+DotKernelFn ActiveDotKernel() { return dispatch().fn.load(std::memory_order_relaxed); }
+
+}  // namespace metis

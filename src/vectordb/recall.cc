@@ -1,0 +1,64 @@
+#include "src/vectordb/recall.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace metis {
+
+double RecallAtK(const std::vector<std::vector<SearchHit>>& got,
+                 const std::vector<std::vector<SearchHit>>& truth) {
+  METIS_CHECK_EQ(got.size(), truth.size());
+  if (truth.empty()) {
+    return 1.0;
+  }
+  double total = 0;
+  for (size_t qi = 0; qi < truth.size(); ++qi) {
+    if (truth[qi].empty()) {
+      total += 1.0;
+      continue;
+    }
+    // Sorted-id intersection: cheap at top-k sizes, no hashing.
+    std::vector<ChunkId> want, have;
+    want.reserve(truth[qi].size());
+    have.reserve(got[qi].size());
+    for (const SearchHit& h : truth[qi]) {
+      want.push_back(h.id);
+    }
+    for (const SearchHit& h : got[qi]) {
+      have.push_back(h.id);
+    }
+    std::sort(want.begin(), want.end());
+    std::sort(have.begin(), have.end());
+    size_t overlap = 0;
+    size_t a = 0, b = 0;
+    while (a < want.size() && b < have.size()) {
+      if (want[a] == have[b]) {
+        ++overlap;
+        ++a;
+        ++b;
+      } else if (want[a] < have[b]) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    total += static_cast<double>(overlap) / static_cast<double>(want.size());
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+RecallEval::RecallEval(const FlatL2Index& truth, std::vector<Embedding> queries, size_t k,
+                       ThreadPool* pool)
+    : k_(k), queries_(std::move(queries)) {
+  METIS_CHECK_GT(k, 0u);
+  truth_ = truth.SearchBatch(queries_, k_, pool);
+}
+
+double RecallEval::Evaluate(const VectorIndex& index, ThreadPool* pool,
+                            const RetrievalQuality& quality) const {
+  return RecallAtK(index.SearchBatch(queries_, k_, pool, quality), truth_);
+}
+
+}  // namespace metis

@@ -7,48 +7,9 @@
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/vectordb/kernels.h"
 
 namespace metis {
-
-// --- Kernels ----------------------------------------------------------------
-
-double DotBlocked(const float* a, const float* b, size_t n) {
-  // Eight independent accumulators: each maps to its own SIMD lane (or its
-  // own scalar dependency chain), so the compiler can vectorize/pipeline this
-  // under strict FP semantics — no reassociation of one long chain needed.
-  //
-  // Accumulation is in double on purpose. The decomposed distance
-  // |x|^2 + |q|^2 - 2 dot(x, q) cancels catastrophically for near-ties, and
-  // rankings must stay bit-identical to the seed's double-precision scalar
-  // loop; double accumulators keep the decomposition error (~1e-13 relative)
-  // far below float's rounding grid, so the final float distances — and
-  // hence the ranking — match the seed's.
-  double acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-  double acc4 = 0, acc5 = 0, acc6 = 0, acc7 = 0;
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    acc0 += static_cast<double>(a[i + 0]) * b[i + 0];
-    acc1 += static_cast<double>(a[i + 1]) * b[i + 1];
-    acc2 += static_cast<double>(a[i + 2]) * b[i + 2];
-    acc3 += static_cast<double>(a[i + 3]) * b[i + 3];
-    acc4 += static_cast<double>(a[i + 4]) * b[i + 4];
-    acc5 += static_cast<double>(a[i + 5]) * b[i + 5];
-    acc6 += static_cast<double>(a[i + 6]) * b[i + 6];
-    acc7 += static_cast<double>(a[i + 7]) * b[i + 7];
-  }
-  double tail = 0;
-  for (; i < n; ++i) {
-    tail += static_cast<double>(a[i]) * b[i];
-  }
-  return (((acc0 + acc4) + (acc2 + acc6)) + ((acc1 + acc5) + (acc3 + acc7))) + tail;
-}
-
-double SquaredNormBlocked(const float* a, size_t n) {
-  // Same accumulation structure as DotBlocked by construction, so
-  // SquaredNormBlocked(x) == DotBlocked(x, x) bit-for-bit and duplicate rows
-  // score an exact-zero distance against themselves.
-  return DotBlocked(a, a, n);
-}
 
 // --- RowPool ----------------------------------------------------------------
 
@@ -138,11 +99,13 @@ class BoundedTopK {
 
 // Scores pool rows [begin, end) against one query and offers them to `out`.
 // Candidate order is `order_base` + row offset, i.e. pool insertion order.
+// The dispatched dot kernel is fetched once per scan, not once per row.
 void ScanRows(const RowPool& pool, size_t begin, size_t end, const float* q, double qnorm,
               size_t order_base, BoundedTopK& out) {
   size_t dim = pool.dim();
+  DotKernelFn dot = ActiveDotKernel();
   for (size_t i = begin; i < end; ++i) {
-    float d = static_cast<float>(pool.norm(i) + qnorm - 2.0 * DotBlocked(pool.row(i), q, dim));
+    float d = static_cast<float>(pool.norm(i) + qnorm - 2.0 * dot(pool.row(i), q, dim));
     if (d < 0.0f) {
       d = 0.0f;  // Decomposition rounding can dip just below zero for rows
                  // within ~1e-7 of the query; a squared distance is never
@@ -263,11 +226,11 @@ void IvfL2Index::Add(ChunkId id, const Embedding& v) {
 
 size_t IvfL2Index::NearestCentroid(const float* v) const {
   double vnorm = SquaredNormBlocked(v, dim_);
+  DotKernelFn dot = ActiveDotKernel();
   size_t best = 0;
   float best_d = std::numeric_limits<float>::max();
   for (size_t c = 0; c < centroids_.size(); ++c) {
-    float d =
-        static_cast<float>(centroids_.norm(c) + vnorm - 2.0 * DotBlocked(centroids_.row(c), v, dim_));
+    float d = static_cast<float>(centroids_.norm(c) + vnorm - 2.0 * dot(centroids_.row(c), v, dim_));
     if (d < best_d) {
       best_d = d;
       best = c;
@@ -312,10 +275,11 @@ void IvfL2Index::Train(ThreadPool* pool) {
   std::vector<float> nearest_d(n, std::numeric_limits<float>::max());
   auto absorb_centroid = [&](const Embedding& c) {
     double cnorm = SquaredNormBlocked(c.data(), dim_);
+    DotKernelFn dot = ActiveDotKernel();
     parallel(n, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         float d = static_cast<float>(cnorm + staged_.norm(i) -
-                                     2.0 * DotBlocked(staged_.row(i), c.data(), dim_));
+                                     2.0 * dot(staged_.row(i), c.data(), dim_));
         if (d < nearest_d[i]) {
           nearest_d[i] = d;
         }
@@ -379,17 +343,45 @@ void IvfL2Index::Train(ThreadPool* pool) {
   trained_ = true;
 }
 
-std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k) const {
+IvfL2Index::ProbePlan IvfL2Index::ResolveProbe(const RetrievalQuality& quality) const {
+  ProbePlan plan;
+  switch (quality.mode) {
+    case RetrievalQuality::ProbeMode::kIndexDefault:
+      plan.adaptive = adaptive_.enabled;
+      break;
+    case RetrievalQuality::ProbeMode::kFixed:
+      plan.adaptive = false;
+      break;
+    case RetrievalQuality::ProbeMode::kAdaptive:
+      plan.adaptive = true;
+      break;
+  }
+  if (plan.adaptive) {
+    plan.budget = quality.nprobe > 0      ? quality.nprobe
+                  : adaptive_.max_probes > 0 ? adaptive_.max_probes
+                                             : nprobe_;
+    plan.min_probes = std::max<size_t>(1, std::min(adaptive_.min_probes, plan.budget));
+    plan.ratio = adaptive_.distance_ratio;
+  } else {
+    plan.budget = quality.nprobe > 0 ? quality.nprobe : nprobe_;
+    plan.min_probes = plan.budget;
+  }
+  return plan;
+}
+
+std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k, const ProbePlan& plan,
+                                             uint64_t* probes_used) const {
   METIS_CHECK(trained_);
   double qnorm = SquaredNormBlocked(q, dim_);
 
-  // Rank lists by centroid distance; probe the closest nprobe lists. Ties
-  // resolve toward the lower list index (pair comparison), as in the seed.
+  // Rank lists by centroid distance; probe the closest lists. Ties resolve
+  // toward the lower list index (pair comparison), as in the seed.
   std::vector<std::pair<float, size_t>> order;
   order.reserve(centroids_.size());
+  DotKernelFn dot = ActiveDotKernel();
   for (size_t c = 0; c < centroids_.size(); ++c) {
     order.emplace_back(
-        static_cast<float>(centroids_.norm(c) + qnorm - 2.0 * DotBlocked(centroids_.row(c), q, dim_)),
+        static_cast<float>(centroids_.norm(c) + qnorm - 2.0 * dot(centroids_.row(c), q, dim_)),
         c);
   }
   std::stable_sort(order.begin(), order.end());
@@ -398,22 +390,53 @@ std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k) const {
   // the seed's concatenate-then-stable-sort tie-break.
   BoundedTopK topk(k);
   size_t base = 0;
-  size_t probes = std::min(nprobe_, order.size());
-  for (size_t p = 0; p < probes; ++p) {
+  size_t budget = std::min(plan.budget, order.size());
+  // Adaptive early termination: once past min_probes, stop at the first list
+  // whose centroid distance exceeds ratio x the closest centroid's distance.
+  // Squared distances never go below zero (clamp guards decomposition
+  // rounding), so a query sitting on a centroid (d0 == 0) stops right after
+  // its mandatory probes.
+  double cutoff = plan.adaptive && budget > 0
+                      ? plan.ratio * std::max(0.0f, order[0].first)
+                      : std::numeric_limits<double>::infinity();
+  size_t probes = 0;
+  for (size_t p = 0; p < budget; ++p) {
+    if (plan.adaptive && p >= plan.min_probes && static_cast<double>(order[p].first) > cutoff) {
+      break;
+    }
     const RowPool& list = lists_[order[p].second];
     ScanRows(list, 0, list.size(), q, qnorm, base, topk);
     base += list.size();
+    ++probes;
+  }
+  if (probes_used != nullptr) {
+    *probes_used = probes;
   }
   return topk.Drain();
 }
 
 std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k) const {
+  return Search(query, k, RetrievalQuality{});
+}
+
+std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k,
+                                          const RetrievalQuality& quality) const {
   METIS_CHECK_EQ(query.size(), dim_);
-  return SearchOne(query.data(), k);
+  uint64_t probes = 0;
+  std::vector<SearchHit> hits = SearchOne(query.data(), k, ResolveProbe(quality), &probes);
+  stats_.searches.fetch_add(1, std::memory_order_relaxed);
+  stats_.probes.fetch_add(probes, std::memory_order_relaxed);
+  return hits;
 }
 
 std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Embedding>& queries,
                                                             size_t k, ThreadPool* pool) const {
+  return SearchBatch(queries, k, pool, RetrievalQuality{});
+}
+
+std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Embedding>& queries,
+                                                            size_t k, ThreadPool* pool,
+                                                            const RetrievalQuality& quality) const {
   METIS_CHECK(trained_);
   for (const Embedding& q : queries) {
     METIS_CHECK_EQ(q.size(), dim_);
@@ -422,9 +445,13 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Em
   if (queries.empty()) {
     return results;
   }
+  ProbePlan plan = ResolveProbe(quality);
+  // Workers tally probes into per-query slots; the counters fold in after the
+  // ParallelFor barrier, on the calling thread.
+  std::vector<uint64_t> probes(queries.size(), 0);
   auto sweep = [&](size_t qb, size_t qe) {
     for (size_t qi = qb; qi < qe; ++qi) {
-      results[qi] = SearchOne(queries[qi].data(), k);
+      results[qi] = SearchOne(queries[qi].data(), k, plan, &probes[qi]);
     }
   };
   if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
@@ -432,6 +459,12 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Em
   } else {
     sweep(0, queries.size());
   }
+  uint64_t total = 0;
+  for (uint64_t p : probes) {
+    total += p;
+  }
+  stats_.searches.fetch_add(queries.size(), std::memory_order_relaxed);
+  stats_.probes.fetch_add(total, std::memory_order_relaxed);
   return results;
 }
 
@@ -441,40 +474,67 @@ namespace {
 // Query texts repeat across profiler probes, config sweeps, and feedback
 // runs, but the working set per run is modest.
 constexpr size_t kQueryCacheCapacity = 512;
+
+std::unique_ptr<VectorIndex> MakeIndex(size_t dim, const RetrievalIndexOptions& options,
+                                       IvfL2Index** ivf_out) {
+  *ivf_out = nullptr;
+  if (options.backend == RetrievalIndexOptions::Backend::kIvf) {
+    auto ivf = std::make_unique<IvfL2Index>(dim, options.nlist, options.nprobe,
+                                            options.train_seed);
+    ivf->set_adaptive_probe(options.adaptive);
+    *ivf_out = ivf.get();
+    return ivf;
+  }
+  return std::make_unique<FlatL2Index>(dim);
+}
 }  // namespace
 
-VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata)
+VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata,
+                               RetrievalIndexOptions index_options)
     : embedder_(std::move(embedder)),
       metadata_(std::move(metadata)),
-      index_(embedder_.dim()),
-      query_cache_(&embedder_, kQueryCacheCapacity) {}
+      index_options_(index_options),
+      query_cache_(&embedder_, kQueryCacheCapacity) {
+  // In the body, not the init list: MakeIndex writes ivf_, whose own default
+  // initializer would otherwise run afterwards and null it out again.
+  index_ = MakeIndex(embedder_.dim(), index_options_, &ivf_);
+}
 
 ChunkId VectorDatabase::AddChunk(Chunk chunk) {
   chunk.id = static_cast<ChunkId>(chunks_.size());
-  index_.Add(chunk.id, embedder_.Embed(chunk.text));
+  index_->Add(chunk.id, embedder_.Embed(chunk.text));
   chunks_.push_back(std::move(chunk));
   return chunks_.back().id;
 }
 
+void VectorDatabase::FinalizeIndex(ThreadPool* pool) {
+  if (ivf_ != nullptr && !ivf_->trained() && ivf_->size() > 0) {
+    ivf_->Train(pool);
+  }
+}
+
 std::vector<SearchHit> VectorDatabase::RetrieveWithDistances(const std::string& query_text,
-                                                             size_t k) const {
-  return index_.Search(query_cache_.Get(query_text), k);
+                                                             size_t k,
+                                                             const RetrievalQuality& quality) const {
+  return index_->Search(query_cache_.Get(query_text), k, quality);
 }
 
 std::vector<std::vector<SearchHit>> VectorDatabase::RetrieveBatch(
-    const std::vector<std::string>& query_texts, size_t k) const {
+    const std::vector<std::string>& query_texts, size_t k,
+    const RetrievalQuality& quality) const {
   std::vector<Embedding> queries;
   queries.reserve(query_texts.size());
   for (const std::string& text : query_texts) {
     // Copy out of the cache: a later Get() in this loop may evict the slot.
     queries.push_back(query_cache_.Get(text));
   }
-  return index_.SearchBatch(queries, k, search_pool_);
+  return index_->SearchBatch(queries, k, search_pool_, quality);
 }
 
-std::vector<ChunkId> VectorDatabase::Retrieve(const std::string& query_text, size_t k) const {
+std::vector<ChunkId> VectorDatabase::Retrieve(const std::string& query_text, size_t k,
+                                              const RetrievalQuality& quality) const {
   std::vector<ChunkId> ids;
-  for (const SearchHit& hit : RetrieveWithDistances(query_text, k)) {
+  for (const SearchHit& hit : RetrieveWithDistances(query_text, k, quality)) {
     ids.push_back(hit.id);
   }
   return ids;

@@ -3,8 +3,9 @@
 // Mirrors the paper's retrieval substrate (FAISS IndexFlatL2 over
 // Cohere-embed-v3 chunk embeddings, §6): documents are split into fixed-size
 // token chunks, each chunk is embedded, and queries retrieve top-k chunks by
-// exact L2 distance. An IVF index is provided as an optional accelerated
-// backend; both return identical results on the workloads used here.
+// exact L2 distance. An IVF index is the accelerated backend; its recall/
+// latency tradeoff (nprobe, fixed or per-query adaptive) is exposed as a
+// METIS-style quality knob.
 //
 // Retrieval substrate layout (the high-throughput rebuild):
 //
@@ -12,16 +13,19 @@
 //     storage (row-major float rows padded to a 16-float stride), with a
 //     precomputed squared L2 norm per row. Distances are evaluated as
 //         |x - q|^2 = |x|^2 + |q|^2 - 2 * dot(x, q)
-//     so the inner loop is a pure float-data dot product. DotBlocked runs
-//     that dot over eight independent double accumulators, which lets the
-//     compiler vectorize it without -ffast-math (no reassociation of a single
-//     accumulation chain is needed) and keeps eight chains in flight even in
-//     scalar code. Double accumulation keeps the decomposition's absolute
-//     error near 1e-14, so rankings match the seed's direct scalar loop
-//     bit-for-bit except for distinct-but-near-identical rows (true distance
-//     below ~1e-12, i.e. rows within ~1e-6 of the query that are not bitwise
-//     equal — bitwise duplicates still score an exact 0); in that regime the
-//     two formulas may round differently, and sub-zero rounding clamps to 0.
+//     so the inner loop is a pure float-data dot product.
+//   - The dot kernel lives in kernels.h/.cc behind a CPUID-based runtime
+//     dispatcher with three tiers: portable auto-vectorized scalar, AVX2
+//     intrinsics, and AVX-512 intrinsics. All tiers accumulate in double over
+//     eight chains with identical rounding (no FMA) and an identical
+//     reduction tree, so the dispatched kernel returns the bit-identical
+//     double on every tier — rankings do not depend on the host CPU, and the
+//     parity tests force each tier and assert exactly that. Double
+//     accumulation keeps the decomposition's absolute error near 1e-14, so
+//     rankings match the seed's direct scalar loop bit-for-bit except for
+//     distinct-but-near-identical rows (true distance below ~1e-12); in that
+//     regime the two formulas may round differently, and sub-zero rounding
+//     clamps to 0. Bitwise-duplicate rows still score an exact 0.
 //   - Top-k selection is a bounded max-heap over (distance, candidate order):
 //     O(n log k) with O(k) memory instead of materializing and full-sorting
 //     all n candidates. The candidate-order tie-break reproduces the seed's
@@ -33,10 +37,30 @@
 //     batch across workers; results are identical for any thread count.
 //   - IVF inverted lists and centroids use the same RowPool layout, and
 //     IvfL2Index::Train can shard its O(n * nlist * dim) scans over a pool.
+//
+// Recall subsystem (IVF):
+//
+//   - nprobe — how many inverted lists a query scans — is the retrieval-depth
+//     knob: more probes mean higher recall and proportionally more work.
+//   - AdaptiveProbePolicy picks nprobe *per query* with a distance-ratio
+//     early-termination rule: probe lists in ascending centroid distance and
+//     stop (after min_probes) at the first list whose centroid distance
+//     exceeds distance_ratio x the closest centroid's distance, or at the
+//     max_probes budget. Queries that land inside a cluster stop early;
+//     queries between clusters keep probing — so at equal *average* probe
+//     count, adaptive probing spends the work where recall needs it.
+//   - RetrievalQuality threads a per-call override (fixed vs adaptive, probe
+//     budget) from the serving-stack configuration down to the index, so the
+//     joint scheduler can treat retrieval depth like its other quality knobs
+//     (JointSchedulerOptions::adaptive_nprobe / nprobe_budget).
+//   - recall.h provides RecallEval (recall@k against flat-index ground truth)
+//     and bench_recall sweeps nlist x nprobe x adaptive mode into
+//     BENCH_recall.json (schema in docs/BENCH.md).
 
 #ifndef METIS_SRC_VECTORDB_VECTORDB_H_
 #define METIS_SRC_VECTORDB_VECTORDB_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <new>
@@ -45,6 +69,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/embed/embedding.h"
+#include "src/vectordb/kernels.h"
 
 namespace metis {
 
@@ -64,20 +89,6 @@ struct SearchHit {
   ChunkId id = -1;
   float distance = 0;
 };
-
-// --- SIMD-friendly kernels -------------------------------------------------
-
-// Dot product over float data with eight independent double accumulators:
-// auto-vectorizable under strict FP semantics (no reassociation needed) and
-// precise enough that the decomposed distance rounds to the same float as the
-// seed's direct double-precision loop — which is what keeps rankings
-// bit-identical. Deterministic for a given (a, b, n).
-double DotBlocked(const float* a, const float* b, size_t n);
-
-// Squared L2 norm with the same accumulation structure as DotBlocked, so
-// dot(x, x) == SquaredNormBlocked(x) bit-for-bit (exact-duplicate rows get an
-// exact-zero distance).
-double SquaredNormBlocked(const float* a, size_t n);
 
 // --- Aligned SoA row storage -----------------------------------------------
 
@@ -110,7 +121,8 @@ struct AlignedAllocator {
 
 // Contiguous aligned row storage with per-row precomputed squared norms and
 // chunk ids. Shared by the flat index, the IVF inverted lists, and the IVF
-// centroid table.
+// centroid table. Norms are kernel-target-independent (see kernels.h), so a
+// pool built under one dispatch tier is valid under any other.
 class RowPool {
  public:
   explicit RowPool(size_t dim);
@@ -129,8 +141,36 @@ class RowPool {
   size_t dim_;
   size_t stride_;  // dim rounded up to 16 floats (one cache line).
   std::vector<float, AlignedAllocator<float>> data_;
-  std::vector<double> norms_;  // Full precision: see DotBlocked.
+  std::vector<double> norms_;  // Full precision: see kernels.h.
   std::vector<ChunkId> ids_;
+};
+
+// --- Probe policies ---------------------------------------------------------
+
+// Per-query adaptive nprobe: the distance-ratio early-termination rule
+// described in the header comment. Distances are squared L2, so
+// distance_ratio is a ratio of squared distances (2.25 == 1.5x in true
+// distance).
+struct AdaptiveProbePolicy {
+  bool enabled = false;
+  size_t min_probes = 1;  // Always probe at least this many lists.
+  size_t max_probes = 0;  // Per-query probe budget; 0 = the index's nprobe.
+  double distance_ratio = 2.25;
+};
+
+// Per-call retrieval-quality override, threaded from the serving-stack
+// configuration (JointSchedulerOptions) through SynthesisExecutor /
+// RetrievalBatcher / VectorDatabase down to the index. Ignored by exact
+// (flat) backends.
+struct RetrievalQuality {
+  enum class ProbeMode {
+    kIndexDefault,  // Use the index's own AdaptiveProbePolicy / nprobe.
+    kFixed,         // Force fixed-nprobe probing.
+    kAdaptive,      // Force adaptive probing.
+  };
+  ProbeMode mode = ProbeMode::kIndexDefault;
+  // >0 overrides the probe count (fixed mode) or budget (adaptive mode).
+  size_t nprobe = 0;
 };
 
 // --- Index interface --------------------------------------------------------
@@ -152,6 +192,22 @@ class VectorIndex {
   virtual std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries,
                                                           size_t k,
                                                           ThreadPool* pool = nullptr) const;
+  // Quality-aware variants. Exact backends have no recall knob: the defaults
+  // ignore `quality` and forward to the plain overloads. Approximate backends
+  // (IVF) override them to resolve probing from their policy + the per-call
+  // override, so callers can pass quality through uniformly without knowing
+  // the backend.
+  virtual std::vector<SearchHit> Search(const Embedding& query, size_t k,
+                                        const RetrievalQuality& quality) const {
+    (void)quality;
+    return Search(query, k);
+  }
+  virtual std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries,
+                                                          size_t k, ThreadPool* pool,
+                                                          const RetrievalQuality& quality) const {
+    (void)quality;
+    return SearchBatch(queries, k, pool);
+  }
   virtual size_t size() const = 0;
 };
 
@@ -159,6 +215,10 @@ class VectorIndex {
 class FlatL2Index : public VectorIndex {
  public:
   explicit FlatL2Index(size_t dim);
+
+  // Un-hide the base's quality-aware overloads (no-ops for an exact index).
+  using VectorIndex::Search;
+  using VectorIndex::SearchBatch;
 
   void Add(ChunkId id, const Embedding& v) override;
   std::vector<SearchHit> Search(const Embedding& query, size_t k) const override;
@@ -173,8 +233,8 @@ class FlatL2Index : public VectorIndex {
 };
 
 // Inverted-file index: k-means coarse quantizer + per-list exact search.
-// Approximate unless nprobe == nlist. Provided as the "extension" backend the
-// paper's future-work discussion gestures at; experiments default to flat.
+// Approximate unless nprobe == nlist; recall is controlled by the fixed
+// nprobe, or per query by an AdaptiveProbePolicy / RetrievalQuality override.
 class IvfL2Index : public VectorIndex {
  public:
   IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed);
@@ -184,6 +244,14 @@ class IvfL2Index : public VectorIndex {
   std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries,
                                                   size_t k,
                                                   ThreadPool* pool = nullptr) const override;
+  // Quality-aware variants: probing is resolved from the index's policy and
+  // the per-call override (see RetrievalQuality). The plain overrides above
+  // forward here with the default quality.
+  std::vector<SearchHit> Search(const Embedding& query, size_t k,
+                                const RetrievalQuality& quality) const override;
+  std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries, size_t k,
+                                                  ThreadPool* pool,
+                                                  const RetrievalQuality& quality) const override;
   // O(1): a running count maintained by Add()/Train().
   size_t size() const override { return count_; }
 
@@ -194,9 +262,42 @@ class IvfL2Index : public VectorIndex {
   void Train(ThreadPool* pool = nullptr);
   bool trained() const { return trained_; }
 
+  // Per-query adaptive probing policy (off by default). Takes effect on the
+  // next search; not synchronized with in-flight searches.
+  void set_adaptive_probe(const AdaptiveProbePolicy& policy) { adaptive_ = policy; }
+  const AdaptiveProbePolicy& adaptive_probe() const { return adaptive_; }
+  size_t nlist() const { return nlist_; }
+  size_t nprobe() const { return nprobe_; }
+
+  // --- Probe accounting (recall/latency evaluation) ---
+  // Relaxed atomics: concurrent const searches on a shared index stay
+  // race-free (as in PR 1) and never lose counts. Batch sweeps merge worker
+  // tallies after the barrier, so reads between search operations are exact.
+  uint64_t searches() const { return stats_.searches.load(std::memory_order_relaxed); }
+  uint64_t probes_issued() const { return stats_.probes.load(std::memory_order_relaxed); }
+  double mean_probes() const {
+    uint64_t s = searches();
+    return s == 0 ? 0.0 : static_cast<double>(probes_issued()) / static_cast<double>(s);
+  }
+  void ResetProbeStats() const {
+    stats_.searches.store(0, std::memory_order_relaxed);
+    stats_.probes.store(0, std::memory_order_relaxed);
+  }
+
  private:
+  // Probing resolved against one query: scan the `budget` closest lists,
+  // stopping early per the ratio rule when `adaptive`.
+  struct ProbePlan {
+    bool adaptive = false;
+    size_t min_probes = 1;
+    size_t budget = 1;
+    double ratio = 2.25;
+  };
+  ProbePlan ResolveProbe(const RetrievalQuality& quality) const;
+
   size_t NearestCentroid(const float* v) const;
-  std::vector<SearchHit> SearchOne(const float* q, size_t k) const;
+  std::vector<SearchHit> SearchOne(const float* q, size_t k, const ProbePlan& plan,
+                                   uint64_t* probes_used) const;
 
   size_t dim_;
   size_t nlist_;
@@ -204,10 +305,29 @@ class IvfL2Index : public VectorIndex {
   uint64_t seed_;
   bool trained_ = false;
   size_t count_ = 0;
+  AdaptiveProbePolicy adaptive_;
   RowPool centroids_;
   // Pre-train staging area, emptied by Train().
   RowPool staged_;
   std::vector<RowPool> lists_;
+
+  // Copyable atomic counter pair (atomics alone would delete the index's
+  // copy/move, which tests rely on); copies snapshot the counts.
+  struct ProbeCounters {
+    std::atomic<uint64_t> searches{0};
+    std::atomic<uint64_t> probes{0};
+
+    ProbeCounters() = default;
+    ProbeCounters(const ProbeCounters& other)
+        : searches(other.searches.load(std::memory_order_relaxed)),
+          probes(other.probes.load(std::memory_order_relaxed)) {}
+    ProbeCounters& operator=(const ProbeCounters& other) {
+      searches.store(other.searches.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      probes.store(other.probes.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  mutable ProbeCounters stats_;
 };
 
 // Database metadata shown to the LLM query profiler (paper §4.1, §A.1): a
@@ -218,10 +338,24 @@ struct DatabaseMetadata {
   std::string domain;  // e.g. "finance", "meetings", "wiki".
 };
 
+// Which similarity index a VectorDatabase builds. The paper's experiments
+// default to exact flat search; the IVF backend trades recall for speed via
+// the probe knobs above.
+struct RetrievalIndexOptions {
+  enum class Backend { kFlat, kIvf };
+  Backend backend = Backend::kFlat;
+  // IVF-only:
+  size_t nlist = 64;
+  size_t nprobe = 8;
+  AdaptiveProbePolicy adaptive;
+  uint64_t train_seed = 17;
+};
+
 // The assembled retrieval database: chunks + embeddings + index + metadata.
 class VectorDatabase {
  public:
-  VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata);
+  VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata,
+                 RetrievalIndexOptions index_options = {});
 
   // Not movable: the query cache points at the owned embedder.
   VectorDatabase(const VectorDatabase&) = delete;
@@ -230,17 +364,27 @@ class VectorDatabase {
   // Adds a chunk; embeds its text and indexes it. Returns the chunk id.
   ChunkId AddChunk(Chunk chunk);
 
+  // Call once after bulk-loading chunks. Trains the IVF coarse quantizer
+  // (no-op for the flat backend or if already trained); chunks added later
+  // assign to the nearest centroid.
+  void FinalizeIndex(ThreadPool* pool = nullptr);
+
   // Embeds the query text and returns the top-k chunks, closest first.
   // Query embeddings are memoized (EmbeddingCache), so repeated retrievals of
   // the same text — config sweeps, golden-config feedback — skip re-embedding.
-  std::vector<ChunkId> Retrieve(const std::string& query_text, size_t k) const;
-  std::vector<SearchHit> RetrieveWithDistances(const std::string& query_text, size_t k) const;
+  // `quality` tunes the IVF probe knobs for this call; exact backends ignore
+  // it.
+  std::vector<ChunkId> Retrieve(const std::string& query_text, size_t k,
+                                const RetrievalQuality& quality = {}) const;
+  std::vector<SearchHit> RetrieveWithDistances(const std::string& query_text, size_t k,
+                                               const RetrievalQuality& quality = {}) const;
 
   // Batched retrieval: embeds every query (through the memo cache) and runs
   // one SearchBatch sweep over the index. results[i] matches what
-  // RetrieveWithDistances(query_texts[i], k) returns.
+  // RetrieveWithDistances(query_texts[i], k, quality) returns.
   std::vector<std::vector<SearchHit>> RetrieveBatch(const std::vector<std::string>& query_texts,
-                                                    size_t k) const;
+                                                    size_t k,
+                                                    const RetrievalQuality& quality = {}) const;
 
   // Optional worker pool used by RetrieveBatch; not owned, may be null.
   void set_search_pool(ThreadPool* pool) { search_pool_ = pool; }
@@ -249,13 +393,19 @@ class VectorDatabase {
   size_t num_chunks() const { return chunks_.size(); }
   const DatabaseMetadata& metadata() const { return metadata_; }
   const EmbeddingModel& embedder() const { return embedder_; }
+  const RetrievalIndexOptions& index_options() const { return index_options_; }
+  const VectorIndex& index() const { return *index_; }
+  // Non-null iff the IVF backend is active (probe stats, policy tweaks).
+  const IvfL2Index* ivf_index() const { return ivf_; }
   size_t query_cache_hits() const { return query_cache_.hits(); }
 
  private:
   EmbeddingModel embedder_;
   DatabaseMetadata metadata_;
+  RetrievalIndexOptions index_options_;
   std::vector<Chunk> chunks_;
-  FlatL2Index index_;
+  std::unique_ptr<VectorIndex> index_;
+  IvfL2Index* ivf_ = nullptr;  // Owned by index_ when backend == kIvf.
   mutable EmbeddingCache query_cache_;
   ThreadPool* search_pool_ = nullptr;
 };

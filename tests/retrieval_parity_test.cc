@@ -15,15 +15,33 @@
 #include <string>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/core/retrieval_batcher.h"
 #include "src/sim/simulator.h"
+#include "src/vectordb/kernels.h"
 #include "src/vectordb/seed_reference.h"
 #include "src/vectordb/vectordb.h"
 
 namespace metis {
 namespace {
+
+// Forces one dispatch tier for a scope; restores the startup default on exit.
+struct ScopedKernelTarget {
+  explicit ScopedKernelTarget(KernelTarget t) { METIS_CHECK(SetKernelTarget(t)); }
+  ~ScopedKernelTarget() { ResetKernelTarget(); }
+};
+
+std::vector<KernelTarget> SupportedTargets() {
+  std::vector<KernelTarget> targets;
+  for (KernelTarget t : {KernelTarget::kScalar, KernelTarget::kAvx2, KernelTarget::kAvx512}) {
+    if (KernelTargetSupported(t)) {
+      targets.push_back(t);
+    }
+  }
+  return targets;
+}
 
 void ExpectSameRanking(const std::vector<SearchHit>& got, const std::vector<SearchHit>& want,
                        const std::string& context) {
@@ -98,6 +116,169 @@ TEST(RetrievalParityTest, FlatSearchEdgeCases) {
   EXPECT_EQ(hits[0].id, 9);
   // Same bits in, same accumulation structure -> exact zero self-distance.
   EXPECT_EQ(hits[0].distance, 0.0f);
+}
+
+// --- Kernel dispatch parity --------------------------------------------------
+//
+// The dispatched dot kernel must return the bit-identical double on every
+// tier (scalar / AVX2 / AVX-512): same eight accumulation chains, same
+// rounding per element (no FMA), same reduction tree. These tests force each
+// CPU-supported tier and compare against the scalar tier exactly.
+
+TEST(KernelDispatchTest, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(KernelTargetSupported(KernelTarget::kScalar));
+  // The active tier is one of the supported ones.
+  EXPECT_TRUE(KernelTargetSupported(ActiveKernelTarget()));
+}
+
+TEST(KernelDispatchTest, ForcingAnUnsupportedTargetIsRejected) {
+  for (KernelTarget t : {KernelTarget::kAvx2, KernelTarget::kAvx512}) {
+    if (!KernelTargetSupported(t)) {
+      KernelTarget before = ActiveKernelTarget();
+      EXPECT_FALSE(SetKernelTarget(t));
+      EXPECT_EQ(ActiveKernelTarget(), before);
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ForcedTargetBecomesActive) {
+  for (KernelTarget t : SupportedTargets()) {
+    ScopedKernelTarget scoped(t);
+    EXPECT_EQ(ActiveKernelTarget(), t);
+    EXPECT_STREQ(KernelTargetName(ActiveKernelTarget()), KernelTargetName(t));
+  }
+  // Destructor restored the default.
+  EXPECT_TRUE(KernelTargetSupported(ActiveKernelTarget()));
+}
+
+TEST(KernelDispatchTest, AllTargetsReturnBitIdenticalDots) {
+  Rng rng(0x51D5);
+  // Dims cover every tail length mod 8, plus production-sized vectors.
+  for (size_t n : {1u, 2u, 3u, 5u, 7u, 8u, 9u, 12u, 15u, 16u, 17u, 31u, 64u, 100u, 256u, 257u}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      std::vector<float> a(n), b(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Mixed magnitudes and signs make the rounding sequence matter: any
+        // reassociation or contraction difference between tiers shows up.
+        double scale = (i % 3 == 0) ? 1e3 : (i % 3 == 1) ? 1.0 : 1e-3;
+        a[i] = static_cast<float>(rng.Normal(0, 1) * scale);
+        b[i] = static_cast<float>(rng.Normal(0, 1) * scale);
+      }
+      double want = DotBlockedTarget(KernelTarget::kScalar, a.data(), b.data(), n);
+      for (KernelTarget t : SupportedTargets()) {
+        double got = DotBlockedTarget(t, a.data(), b.data(), n);
+        EXPECT_EQ(got, want) << "target=" << KernelTargetName(t) << " n=" << n
+                             << " rep=" << rep;
+        // Self-dot parity too (the norm path).
+        EXPECT_EQ(DotBlockedTarget(t, a.data(), a.data(), n),
+                  DotBlockedTarget(KernelTarget::kScalar, a.data(), a.data(), n))
+            << "target=" << KernelTargetName(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, DispatchedEntryPointsFollowTheForcedTarget) {
+  Rng rng(0xD15);
+  const size_t kN = 77;
+  std::vector<float> a(kN), b(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    a[i] = static_cast<float>(rng.Normal(0, 1));
+    b[i] = static_cast<float>(rng.Normal(0, 1));
+  }
+  double want_dot = DotBlockedTarget(KernelTarget::kScalar, a.data(), b.data(), kN);
+  double want_norm = DotBlockedTarget(KernelTarget::kScalar, a.data(), a.data(), kN);
+  for (KernelTarget t : SupportedTargets()) {
+    ScopedKernelTarget scoped(t);
+    EXPECT_EQ(DotBlocked(a.data(), b.data(), kN), want_dot) << KernelTargetName(t);
+    EXPECT_EQ(SquaredNormBlocked(a.data(), kN), want_norm) << KernelTargetName(t);
+    EXPECT_EQ(ActiveDotKernel()(a.data(), b.data(), kN), want_dot) << KernelTargetName(t);
+  }
+}
+
+TEST(RetrievalParityTest, FlatSearchIsBitIdenticalAcrossDispatchTargets) {
+  // Build once under the default tier (norms are tier-independent), then
+  // search the same queries under every supported tier: ids, order, AND float
+  // distances must match bit-for-bit — and the ranking must match the seed.
+  const size_t kDim = 96;
+  Rng rng(0x7A26E7);
+  FlatL2Index index(kDim);
+  SeedFlatIndex seed(kDim);
+  std::vector<Embedding> stored;
+  for (int i = 0; i < 240; ++i) {
+    // A quarter duplicates: ties must break identically on every tier.
+    Embedding v = (i >= 80 && i % 4 == 0) ? stored[static_cast<size_t>(i) / 3]
+                                          : RandomUnitVector(rng, kDim);
+    stored.push_back(v);
+    index.Add(i, v);
+    seed.Add(i, v);
+  }
+  std::vector<Embedding> queries;
+  for (int q = 0; q < 12; ++q) {
+    queries.push_back(q % 3 == 0 ? stored[static_cast<size_t>(q) * 5]
+                                 : RandomUnitVector(rng, kDim));
+  }
+  const size_t kK = 14;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<SearchHit> scalar_hits;
+    {
+      ScopedKernelTarget scoped(KernelTarget::kScalar);
+      scalar_hits = index.Search(queries[qi], kK);
+    }
+    ExpectSameRanking(scalar_hits, seed.Search(queries[qi], kK),
+                      "scalar vs seed q=" + std::to_string(qi));
+    for (KernelTarget t : SupportedTargets()) {
+      ScopedKernelTarget scoped(t);
+      std::vector<SearchHit> hits = index.Search(queries[qi], kK);
+      ASSERT_EQ(hits.size(), scalar_hits.size()) << KernelTargetName(t) << " q=" << qi;
+      for (size_t r = 0; r < hits.size(); ++r) {
+        EXPECT_EQ(hits[r].id, scalar_hits[r].id)
+            << KernelTargetName(t) << " q=" << qi << " rank=" << r;
+        EXPECT_EQ(hits[r].distance, scalar_hits[r].distance)
+            << KernelTargetName(t) << " q=" << qi << " rank=" << r;
+      }
+    }
+  }
+}
+
+TEST(RetrievalParityTest, IvfSearchIsBitIdenticalAcrossDispatchTargets) {
+  // IVF adds centroid ranking and per-list scans on top of the kernels; the
+  // whole pipeline (train under default tier, search under each tier) must
+  // agree bit-for-bit, fixed and adaptive probing alike.
+  const size_t kDim = 40;
+  Rng rng(0x1F2E3D);
+  IvfL2Index ivf(kDim, 12, 4, 2024);
+  for (int i = 0; i < 300; ++i) {
+    ivf.Add(i, RandomUnitVector(rng, kDim));
+  }
+  ivf.Train();
+  std::vector<Embedding> queries;
+  for (int q = 0; q < 10; ++q) {
+    queries.push_back(RandomUnitVector(rng, kDim));
+  }
+  RetrievalQuality adaptive;
+  adaptive.mode = RetrievalQuality::ProbeMode::kAdaptive;
+  adaptive.nprobe = 8;
+  for (const RetrievalQuality& quality : {RetrievalQuality{}, adaptive}) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      std::vector<SearchHit> want;
+      {
+        ScopedKernelTarget scoped(KernelTarget::kScalar);
+        want = ivf.Search(queries[qi], 9, quality);
+      }
+      for (KernelTarget t : SupportedTargets()) {
+        ScopedKernelTarget scoped(t);
+        std::vector<SearchHit> got = ivf.Search(queries[qi], 9, quality);
+        ASSERT_EQ(got.size(), want.size()) << KernelTargetName(t) << " q=" << qi;
+        for (size_t r = 0; r < got.size(); ++r) {
+          EXPECT_EQ(got[r].id, want[r].id)
+              << KernelTargetName(t) << " q=" << qi << " rank=" << r;
+          EXPECT_EQ(got[r].distance, want[r].distance)
+              << KernelTargetName(t) << " q=" << qi << " rank=" << r;
+        }
+      }
+    }
+  }
 }
 
 // --- Batched parity across thread counts ------------------------------------
