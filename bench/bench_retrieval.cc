@@ -1,7 +1,13 @@
 // Retrieval-substrate microbenchmark: flat vs. IVF, seed-scalar vs. blocked
-// kernels, 1/2/4/8 threads, batch sizes 1-64. Prints console tables and emits
-// a machine-readable BENCH_retrieval.json (QPS + p50/p99 per-query latency
-// per configuration) so future PRs can track the perf trajectory.
+// kernels, 1/2/4/8 threads, batch sizes 1-64, and the shard-count scaling
+// surface (1/2/4 hash partitions per backend). Prints console tables and
+// emits a machine-readable BENCH_retrieval.json (QPS + p50/p99 per-query
+// latency per configuration) so future PRs can track the perf trajectory.
+//
+// On a 1-CPU host the multi-thread grid rows are skipped (announced once):
+// they would only measure worker-pool overhead, and their QPS would poison
+// the checked-in baseline. The summary row records `host_cpus` so baselines
+// are comparable across machines.
 //
 // The "seed scalar" baseline is the frozen pre-rebuild FlatL2Index::Search
 // from src/vectordb/seed_reference.h (shared with the parity tests, so the
@@ -13,7 +19,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -162,7 +170,15 @@ int main(int argc, char** argv) {
   }
 
   // --- Blocked flat + IVF across threads and batch sizes ---
-  const std::vector<size_t> kThreads = {1, 2, 4, 8};
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_grid = {1, 2, 4, 8};
+  if (host_cpus == 1) {
+    // Announced once, not per grid row: with one hardware thread every t>1
+    // row measures pool overhead, not scaling.
+    std::printf("  [SKIP] multi-thread grid rows (t=2/4/8): host exposes 1 hardware thread\n");
+    thread_grid = {1};
+  }
+  const std::vector<size_t>& kThreads = thread_grid;
   const std::vector<size_t> kBatches = {1, 4, 16, 64};
   Table flat_table("bench_retrieval: blocked flat QPS (n=50k, dim=256, k=10)");
   std::vector<std::string> header = {"threads \\ batch"};
@@ -220,6 +236,69 @@ int main(int argc, char** argv) {
   }
   ivf_table.Print();
 
+  // --- Shard-count scaling surface: backend x shards x threads (batch 16) ---
+  // Hash-partitioned storage is result-neutral (parity-tested); these rows
+  // measure what shard fan-out buys on this host. Shard counts beyond the
+  // worker count only add merge overhead, so the grid stays small.
+  {
+    const size_t kShardBatch = 16;
+    Table shard_table("bench_retrieval: sharded QPS (b=16, shards x threads)");
+    std::vector<std::string> shard_header = {"backend/shards \\ threads"};
+    for (size_t t : kThreads) {
+      shard_header.push_back(StrFormat("t=%zu", t));
+    }
+    shard_table.SetHeader(shard_header);
+    // Materialize the corpus once (same stream as the main build) and reuse
+    // it for every grid cell; only the selected backend is constructed.
+    std::vector<Embedding> corpus;
+    corpus.reserve(n);
+    {
+      Rng fill_rng(0xBE7C4);
+      for (size_t i = 0; i < n; ++i) {
+        corpus.push_back(RandomUnitVector(fill_rng, dim));
+      }
+    }
+    for (const char* backend : {"flat", "ivf"}) {
+      bool is_ivf = std::strcmp(backend, "ivf") == 0;
+      for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+        std::unique_ptr<VectorIndex> sharded;
+        if (is_ivf) {
+          sharded = std::make_unique<IvfL2Index>(dim, 64, 8, 17, shards);
+        } else {
+          sharded = std::make_unique<FlatL2Index>(dim, shards);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          sharded->Add(static_cast<ChunkId>(i), corpus[i]);
+        }
+        if (is_ivf) {
+          ThreadPool train_pool(ThreadPool::DefaultThreads());
+          static_cast<IvfL2Index*>(sharded.get())->Train(&train_pool);
+        }
+        const VectorIndex& index = *sharded;
+        std::vector<std::string> row = {StrFormat("%s s=%zu", backend, shards)};
+        for (size_t threads : kThreads) {
+          ThreadPool pool(threads);
+          Measurement m =
+              MeasureBatched(index, queries, kTopK, kShardBatch, threads > 1 ? &pool : nullptr);
+          BenchJsonRecord rec;
+          rec.name = StrFormat("%s_sharded_s%zu_t%zu_b%zu", backend, shards, threads,
+                               kShardBatch);
+          rec.tags = {{"impl", StrFormat("%s_sharded", backend)}};
+          rec.metrics = {{"shards", static_cast<double>(shards)},
+                         {"threads", static_cast<double>(threads)},
+                         {"batch", static_cast<double>(kShardBatch)},
+                         {"qps", m.qps},
+                         {"p50_ms", m.p50_ms},
+                         {"p99_ms", m.p99_ms}};
+          records.push_back(std::move(rec));
+          row.push_back(Table::Num(m.qps, 0));
+        }
+        shard_table.AddRow(row);
+      }
+    }
+    shard_table.Print();
+  }
+
   // --- Verdicts ---
   double speedup = seed_m.qps > 0 ? flat_t1_b1_qps / seed_m.qps : 0;
   std::printf("\nseed scalar: %.0f qps (p50 %.2f ms) | blocked t1/b1: %.0f qps (speedup %.1fx)\n",
@@ -244,9 +323,12 @@ int main(int argc, char** argv) {
                      {"dim", static_cast<double>(dim)},
                      {"k", static_cast<double>(kTopK)},
                      {"single_thread_speedup", speedup},
-                     {"hardware_threads", static_cast<double>(ThreadPool::DefaultThreads())}};
+                     {"hardware_threads", static_cast<double>(ThreadPool::DefaultThreads())},
+                     {"host_cpus", static_cast<double>(host_cpus)}};
   records.push_back(std::move(summary));
-  WriteBenchJson("BENCH_retrieval.json", "retrieval", records);
+  WriteBenchJson("BENCH_retrieval.json", "retrieval", records,
+                 StrFormat("measured on a %u-cpu host, kernel tier %s", host_cpus,
+                           KernelTargetName(ActiveKernelTarget())));
   std::printf("wrote BENCH_retrieval.json (%zu records)\n", records.size());
   return 0;
 }

@@ -100,10 +100,14 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 void WriteBenchJson(const std::string& path, const std::string& bench_name,
-                    const std::vector<BenchJsonRecord>& records) {
+                    const std::vector<BenchJsonRecord>& records, const std::string& note) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   METIS_CHECK(f != nullptr);
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", JsonEscape(bench_name).c_str());
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(bench_name).c_str());
+  if (!note.empty()) {
+    std::fprintf(f, "  \"note\": \"%s\",\n", JsonEscape(note).c_str());
+  }
+  std::fprintf(f, "  \"records\": [\n");
   for (size_t r = 0; r < records.size(); ++r) {
     const BenchJsonRecord& rec = records[r];
     std::fprintf(f, "    {\"name\": \"%s\"", JsonEscape(rec.name).c_str());

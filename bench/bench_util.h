@@ -53,8 +53,12 @@ struct BenchJsonRecord {
   std::vector<std::pair<std::string, std::string>> tags;     // e.g. {"impl", "flat"}.
   std::vector<std::pair<std::string, double>> metrics;       // e.g. {"qps", 1234.5}.
 };
+// `note` (optional) becomes a top-level "note" string in the envelope — the
+// place to record the measurement host, since QPS baselines are only
+// meaningful for the machine family that produced them.
 void WriteBenchJson(const std::string& path, const std::string& bench_name,
-                    const std::vector<BenchJsonRecord>& records);
+                    const std::vector<BenchJsonRecord>& records,
+                    const std::string& note = "");
 
 }  // namespace metis
 

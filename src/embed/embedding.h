@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+
 namespace metis {
 
 using Embedding = std::vector<float>;
@@ -43,6 +45,12 @@ class EmbeddingModel {
   // Embeds text; deterministic for a given (model, text).
   Embedding Embed(std::string_view text) const;
 
+  // Embeds a batch of texts, sharding the tokenize+hash work across `pool`
+  // when given (each text is independent, so results[i] == Embed(texts[i])
+  // exactly, for any pool size). Null or single-threaded pools run inline.
+  std::vector<Embedding> EmbedBatch(const std::vector<std::string>& texts,
+                                    ThreadPool* pool = nullptr) const;
+
   size_t dim() const { return spec_.dim; }
   const std::string& name() const { return spec_.name; }
 
@@ -65,12 +73,25 @@ class EmbeddingCache {
   // The reference stays valid until the next Get() (eviction may free it).
   const Embedding& Get(const std::string& text);
 
+  // Batched Get: serves hits from the cache, then embeds the *unique* missing
+  // texts in one EmbedBatch call (sharded across `pool` when given) and
+  // memoizes them. Returns owned copies, so the results survive any later
+  // eviction. Counter semantics: each initially-cached occurrence counts one
+  // hit; each unique missing text counts one miss (the work actually done) —
+  // duplicate misses within the batch are served from the single computation.
+  std::vector<Embedding> GetBatch(const std::vector<std::string>& texts,
+                                  ThreadPool* pool = nullptr);
+
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
   size_t size() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }
 
  private:
+  // Inserts a freshly computed embedding (evicting the LRU entry at
+  // capacity); shared by the Get and GetBatch miss paths.
+  const Embedding& Insert(const std::string& text, Embedding value);
+
   const EmbeddingModel* model_;
   size_t capacity_;
   size_t hits_ = 0;

@@ -37,19 +37,42 @@ double DefaultKvPoolGib(const ModelSpec& model) {
   return std::max(pool, 2.5);
 }
 
+namespace {
+
+// Cache-key encoding of the retrieval backend configuration: two databases
+// built under different options must not share a cache entry — and options
+// MakeIndex ignores must not split one. The flat backend ignores every
+// IVF-only field, so its key carries only backend + shards (an nlist sweep
+// over flat-backend specs reuses one dataset); %.17g round-trips doubles
+// exactly, so near-identical distance_ratio values cannot alias.
+std::string IndexOptionsKey(const RetrievalIndexOptions& o) {
+  if (o.backend == RetrievalIndexOptions::Backend::kFlat) {
+    return StrFormat("b%d:s%zu", static_cast<int>(o.backend), o.shards);
+  }
+  return StrFormat("b%d:s%zu:l%zu:p%zu:a%d:m%zu:x%zu:r%.17g:t%llu",
+                   static_cast<int>(o.backend), o.shards, o.nlist, o.nprobe,
+                   o.adaptive.enabled ? 1 : 0, o.adaptive.min_probes, o.adaptive.max_probes,
+                   o.adaptive.distance_ratio,
+                   static_cast<unsigned long long>(o.train_seed));
+}
+
+}  // namespace
+
 std::shared_ptr<const Dataset> GetOrGenerateDataset(const std::string& dataset_name,
                                                     int num_queries,
                                                     const std::string& embedding_model,
-                                                    uint64_t seed) {
-  using Key = std::tuple<std::string, int, std::string, uint64_t>;
+                                                    uint64_t seed,
+                                                    const RetrievalIndexOptions& index_options) {
+  using Key = std::tuple<std::string, int, std::string, uint64_t, std::string>;
   static std::map<Key, std::shared_ptr<const Dataset>> cache;
-  Key key{dataset_name, num_queries, embedding_model, seed};
+  Key key{dataset_name, num_queries, embedding_model, seed, IndexOptionsKey(index_options)};
   auto it = cache.find(key);
   if (it != cache.end()) {
     return it->second;
   }
   DatasetGenerator generator(GetDatasetProfile(dataset_name), seed);
-  std::shared_ptr<const Dataset> ds = generator.Generate(num_queries, embedding_model);
+  std::shared_ptr<const Dataset> ds =
+      generator.Generate(num_queries, embedding_model, index_options);
   cache[key] = ds;
   return ds;
 }
@@ -126,7 +149,10 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
   for (size_t d = 0; d < spec.datasets.size(); ++d) {
     DatasetStack& ds = stacks[d];
     ds.dataset = GetOrGenerateDataset(spec.datasets[d], spec.queries_per_dataset,
-                                      spec.embedding_model, spec.seed);
+                                      spec.embedding_model, spec.seed, spec.retrieval);
+    if (ds.dataset->db().ivf_index() != nullptr) {
+      ds.dataset->db().ivf_index()->ResetProbeStats();
+    }
     RetrievalQuality retrieval_quality = RetrievalQualityFromOptions(spec.scheduler);
     if (spec.scheduler.coalesce_retrieval) {
       ds.batcher = std::make_unique<RetrievalBatcher>(&sim, &ds.dataset->db(),
@@ -223,6 +249,9 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     metrics.sim_duration = std::max(1e-9, last_finish - first_arrival);
     metrics.throughput_qps = static_cast<double>(ds.records.size()) / metrics.sim_duration;
     metrics.engine_stats = engine.stats();
+    if (ds.dataset->db().ivf_index() != nullptr) {
+      metrics.mean_probes = ds.dataset->db().ivf_index()->mean_probes();
+    }
     if (model.api_model) {
       double cost = 0;
       for (const QueryRecord& rec : ds.records) {
@@ -244,8 +273,14 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
 }
 
 RunMetrics RunExperiment(const RunSpec& spec) {
-  std::shared_ptr<const Dataset> dataset =
-      GetOrGenerateDataset(spec.dataset, spec.num_queries, spec.embedding_model, spec.seed);
+  std::shared_ptr<const Dataset> dataset = GetOrGenerateDataset(
+      spec.dataset, spec.num_queries, spec.embedding_model, spec.seed, spec.retrieval);
+  // Probe accounting is per-run: the dataset (and its index) is shared
+  // through the cache, so zero the counters before this run's traffic.
+  const IvfL2Index* ivf = dataset->db().ivf_index();
+  if (ivf != nullptr) {
+    ivf->ResetProbeStats();
+  }
 
   Stack stack;
   const ModelSpec& model = GetModelSpec(spec.serving_model);
@@ -374,6 +409,9 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   metrics.throughput_qps =
       static_cast<double>(metrics.records.size()) / metrics.sim_duration;
   metrics.engine_stats = stack.engine->stats();
+  if (ivf != nullptr) {
+    metrics.mean_probes = ivf->mean_probes();
+  }
 
   if (model.api_model) {
     // API-served inference (the Fig. 13 GPT-4o comparison): per-token price.

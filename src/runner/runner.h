@@ -47,6 +47,11 @@ struct RunSpec {
   RagConfig fixed_config{SynthesisMethod::kStuff, 10, 100};
   MetisSystem::Options metis;
   JointSchedulerOptions scheduler;  // Design-ablation switches (§ DESIGN.md 5).
+  // Retrieval backend the dataset's vector database builds (paper default:
+  // exact flat). The IVF backend makes the scheduler's retrieval-depth knob
+  // (scheduler.adaptive_nprobe / nprobe_budget) live end to end; `shards`
+  // partitions index storage for shard-parallel batched sweeps.
+  RetrievalIndexOptions retrieval;
   // Forces engine batching features regardless of the system default
   // (used by the Fig. 12 ablation to stage batching separately).
   std::optional<bool> override_prefix_sharing;
@@ -69,6 +74,10 @@ struct RunMetrics {
 
   double sim_duration = 0;    // First arrival to last completion (s).
   double throughput_qps = 0;  // Completed queries / sim_duration.
+  // IVF backend only: average inverted lists probed per index search during
+  // this run (0 under the flat backend) — the observable that proves the
+  // retrieval-depth knob reached the index.
+  double mean_probes = 0;
   double engine_cost_usd = 0;
   double profiler_cost_usd = 0;
   double total_cost_usd() const { return engine_cost_usd + profiler_cost_usd; }
@@ -101,6 +110,7 @@ struct MixedRunSpec {
   std::vector<RagConfig> fixed_configs = {RagConfig{SynthesisMethod::kStuff, 10, 100}};
   MetisSystem::Options metis;
   JointSchedulerOptions scheduler;  // Design-ablation switches (§ DESIGN.md 5).
+  RetrievalIndexOptions retrieval;  // Shared by every dataset's database.
   std::optional<bool> override_prefix_sharing;
 
   uint64_t seed = 42;
@@ -111,11 +121,13 @@ struct MixedRunSpec {
 std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec);
 
 // Shared dataset cache: generation is deterministic per (profile, seed,
-// embedder, num_queries), so benches sweeping configs reuse the corpus.
+// embedder, num_queries, index options), so benches sweeping configs reuse
+// the corpus. Distinct retrieval backends key distinct cache entries.
 std::shared_ptr<const Dataset> GetOrGenerateDataset(const std::string& dataset_name,
                                                     int num_queries,
                                                     const std::string& embedding_model,
-                                                    uint64_t seed);
+                                                    uint64_t seed,
+                                                    const RetrievalIndexOptions& index_options = {});
 
 // Runs a single query in isolation (idle engine, no queueing) and returns the
 // result — the probe the Fig. 4 / Fig. 5 per-knob sweeps use.

@@ -27,6 +27,14 @@ RowPool::RowPool(size_t dim) : dim_(dim), stride_(PaddedStride(dim)) {
   METIS_CHECK_GT(dim, 0u);
 }
 
+size_t ShardOfId(ChunkId id, size_t num_shards) {
+  if (num_shards <= 1) {
+    return 0;
+  }
+  uint64_t state = static_cast<uint64_t>(static_cast<uint32_t>(id));
+  return static_cast<size_t>(SplitMix64(state) % num_shards);
+}
+
 void RowPool::Append(ChunkId id, const float* v) {
   size_t offset = data_.size();
   data_.resize(offset + stride_, 0.0f);
@@ -92,16 +100,41 @@ class BoundedTopK {
     return hits;
   }
 
+  // The retained candidates in heap order (for cross-shard merging; the
+  // merge re-heapifies, so ordering here does not matter).
+  const std::vector<Cand>& cands() const { return heap_; }
+
  private:
   size_t k_;
   std::vector<Cand> heap_;
 };
 
+// Folds per-shard top-k heaps (heaps[start + i * stride] for i in
+// [0, count)) into the global top-k. Each shard heap holds its shard's k
+// best candidates under the shared (distance, order) total order — a
+// superset of that shard's contribution to the global top-k — so offering
+// them all into one fresh heap yields exactly the single-shard result.
+std::vector<SearchHit> MergeShardTopK(std::vector<BoundedTopK>& heaps, size_t start,
+                                      size_t stride, size_t count, size_t k) {
+  if (count == 1) {
+    return heaps[start].Drain();
+  }
+  BoundedTopK merged(k);
+  for (size_t i = 0; i < count; ++i) {
+    for (const Cand& c : heaps[start + i * stride].cands()) {
+      merged.Offer(c.dist, c.order, c.id);
+    }
+  }
+  return merged.Drain();
+}
+
 // Scores pool rows [begin, end) against one query and offers them to `out`.
-// Candidate order is `order_base` + row offset, i.e. pool insertion order.
-// The dispatched dot kernel is fetched once per scan, not once per row.
+// Candidate order is `base` + orders[i]: every scanned pool is an IndexShard
+// pool, whose parallel `orders` array carries the single-shard-equivalent
+// order per row. The dispatched dot kernel is fetched once per scan, not
+// once per row.
 void ScanRows(const RowPool& pool, size_t begin, size_t end, const float* q, double qnorm,
-              size_t order_base, BoundedTopK& out) {
+              const size_t* orders, size_t base, BoundedTopK& out) {
   size_t dim = pool.dim();
   DotKernelFn dot = ActiveDotKernel();
   for (size_t i = begin; i < end; ++i) {
@@ -111,7 +144,18 @@ void ScanRows(const RowPool& pool, size_t begin, size_t end, const float* q, dou
                  // within ~1e-7 of the query; a squared distance is never
                  // negative.
     }
-    out.Offer(d, order_base + i, pool.id(i));
+    out.Offer(d, base + orders[i], pool.id(i));
+  }
+}
+
+// Scans shard `shard` of every probed inverted list into `out` (IVF batch
+// fan-out unit). `probe_lists`/`bases` come from IvfL2Index::PlanProbes.
+void ScanProbedShard(const std::vector<std::vector<IndexShard>>& lists,
+                     const std::vector<size_t>& probe_lists, const std::vector<size_t>& bases,
+                     size_t shard, const float* q, double qnorm, BoundedTopK& out) {
+  for (size_t p = 0; p < probe_lists.size(); ++p) {
+    const IndexShard& sh = lists[probe_lists[p]][shard];
+    ScanRows(sh.rows, 0, sh.rows.size(), q, qnorm, sh.orders.data(), bases[p], out);
   }
 }
 
@@ -139,21 +183,33 @@ std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
 
 // --- FlatL2Index ------------------------------------------------------------
 
-FlatL2Index::FlatL2Index(size_t dim) : dim_(dim), rows_(dim) { METIS_CHECK_GT(dim, 0u); }
+FlatL2Index::FlatL2Index(size_t dim, size_t num_shards) : dim_(dim) {
+  METIS_CHECK_GT(dim, 0u);
+  METIS_CHECK_GT(num_shards, 0u);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.emplace_back(dim);
+  }
+}
 
 void FlatL2Index::Add(ChunkId id, const Embedding& v) {
   METIS_CHECK_EQ(v.size(), dim_);
-  rows_.Append(id, v.data());
+  shards_[ShardOfId(id, shards_.size())].Append(id, v.data(), count_++);
 }
 
 std::vector<SearchHit> FlatL2Index::Search(const Embedding& query, size_t k) const {
   METIS_CHECK_EQ(query.size(), dim_);
-  if (k == 0 || rows_.size() == 0) {
+  if (k == 0 || count_ == 0) {
     return {};
   }
   double qnorm = SquaredNormBlocked(query.data(), dim_);
+  // One heap across all shards: the (distance, global order) total order
+  // makes the scan order across shards irrelevant.
   BoundedTopK topk(k);
-  ScanRows(rows_, 0, rows_.size(), query.data(), qnorm, 0, topk);
+  for (const IndexShard& shard : shards_) {
+    ScanRows(shard.rows, 0, shard.rows.size(), query.data(), qnorm, shard.orders.data(), 0,
+             topk);
+  }
   return topk.Drain();
 }
 
@@ -163,55 +219,71 @@ std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(const std::vector<E
     METIS_CHECK_EQ(q.size(), dim_);
   }
   std::vector<std::vector<SearchHit>> results(queries.size());
-  if (queries.empty() || k == 0 || rows_.size() == 0) {
+  if (queries.empty() || k == 0 || count_ == 0) {
     return results;
   }
+  size_t nq = queries.size();
+  size_t nshards = shards_.size();
+  std::vector<double> qnorms(nq);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    qnorms[qi] = SquaredNormBlocked(queries[qi].data(), dim_);
+  }
 
-  // One sweep over the index per query shard: rows are visited in cache-sized
-  // blocks, and each block is scored against every query of the shard before
-  // moving on. Per-query scan order is still row 0..n, so results are
-  // identical to Search() and independent of the shard/block layout.
-  auto sweep = [&](size_t qb, size_t qe) {
-    size_t nq = qe - qb;
-    std::vector<double> qnorms(nq);
-    std::vector<BoundedTopK> heaps;
-    heaps.reserve(nq);
-    for (size_t qi = 0; qi < nq; ++qi) {
-      qnorms[qi] = SquaredNormBlocked(queries[qb + qi].data(), dim_);
-      heaps.emplace_back(k);
-    }
-    size_t block = BlockRows(rows_.stride());
-    for (size_t rb = 0; rb < rows_.size(); rb += block) {
-      size_t re = std::min(rb + block, rows_.size());
-      for (size_t qi = 0; qi < nq; ++qi) {
-        ScanRows(rows_, rb, re, queries[qb + qi].data(), qnorms[qi], 0, heaps[qi]);
+  // Fan the (shard x query) grid out across the pool: one heap per cell, so
+  // workers own disjoint slots and the merged result is independent of the
+  // partitioning. Task ids are shard-major — a contiguous task range covers
+  // consecutive queries of one shard before moving to the next — so each
+  // worker still streams a shard's rows through the cache-sized blocks once
+  // for all of its queries.
+  std::vector<BoundedTopK> heaps;
+  heaps.reserve(nshards * nq);
+  for (size_t i = 0; i < nshards * nq; ++i) {
+    heaps.emplace_back(k);
+  }
+  auto sweep = [&](size_t tb, size_t te) {
+    size_t t = tb;
+    while (t < te) {
+      size_t shard = t / nq;
+      size_t run_end = std::min(te, (shard + 1) * nq);
+      size_t qb = t - shard * nq;
+      size_t qe = run_end - shard * nq;
+      const IndexShard& sh = shards_[shard];
+      size_t block = BlockRows(sh.rows.stride());
+      for (size_t rb = 0; rb < sh.rows.size(); rb += block) {
+        size_t re = std::min(rb + block, sh.rows.size());
+        for (size_t qi = qb; qi < qe; ++qi) {
+          ScanRows(sh.rows, rb, re, queries[qi].data(), qnorms[qi], sh.orders.data(), 0,
+                   heaps[shard * nq + qi]);
+        }
       }
-    }
-    for (size_t qi = 0; qi < nq; ++qi) {
-      results[qb + qi] = heaps[qi].Drain();
+      t = run_end;
     }
   };
-
-  if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
-    pool->ParallelFor(queries.size(), sweep);
+  if (pool != nullptr && pool->num_threads() > 1 && nshards * nq > 1) {
+    pool->ParallelFor(nshards * nq, sweep);
   } else {
-    sweep(0, queries.size());
+    sweep(0, nshards * nq);
+  }
+  for (size_t qi = 0; qi < nq; ++qi) {
+    results[qi] = MergeShardTopK(heaps, /*start=*/qi, /*stride=*/nq, nshards, k);
   }
   return results;
 }
 
 // --- IvfL2Index -------------------------------------------------------------
 
-IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed)
+IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, size_t num_shards)
     : dim_(dim),
       nlist_(nlist),
       nprobe_(std::min(nprobe, nlist)),
       seed_(seed),
+      num_shards_(num_shards),
       centroids_(dim),
       staged_(dim) {
   METIS_CHECK_GT(dim, 0u);
   METIS_CHECK_GT(nlist, 0u);
   METIS_CHECK_GT(nprobe, 0u);
+  METIS_CHECK_GT(num_shards, 0u);
 }
 
 void IvfL2Index::Add(ChunkId id, const Embedding& v) {
@@ -221,7 +293,8 @@ void IvfL2Index::Add(ChunkId id, const Embedding& v) {
     staged_.Append(id, v.data());
     return;
   }
-  lists_[NearestCentroid(v.data())].Append(id, v.data());
+  size_t list = NearestCentroid(v.data());
+  lists_[list][ShardOfId(id, num_shards_)].Append(id, v.data(), list_counts_[list]++);
 }
 
 size_t IvfL2Index::NearestCentroid(const float* v) const {
@@ -335,9 +408,24 @@ void IvfL2Index::Train(ThreadPool* pool) {
 
   rebuild_centroids(cents);
   assign_all();
-  lists_.assign(cents.size(), RowPool(dim_));
+  // Fill the hash-partitioned lists in staged (insertion) order: a row's
+  // in-list order is the position it would have in a single-shard list, so
+  // search results cannot depend on num_shards_.
+  lists_.clear();
+  lists_.reserve(cents.size());
+  for (size_t c = 0; c < cents.size(); ++c) {
+    std::vector<IndexShard> shards;
+    shards.reserve(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      shards.emplace_back(dim_);
+    }
+    lists_.push_back(std::move(shards));
+  }
+  list_counts_.assign(cents.size(), 0);
   for (size_t i = 0; i < n; ++i) {
-    lists_[assign[i]].Append(staged_.id(i), staged_.row(i));
+    size_t list = assign[i];
+    ChunkId id = staged_.id(i);
+    lists_[list][ShardOfId(id, num_shards_)].Append(id, staged_.row(i), list_counts_[list]++);
   }
   staged_ = RowPool(dim_);
   trained_ = true;
@@ -369,11 +457,8 @@ IvfL2Index::ProbePlan IvfL2Index::ResolveProbe(const RetrievalQuality& quality) 
   return plan;
 }
 
-std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k, const ProbePlan& plan,
-                                             uint64_t* probes_used) const {
-  METIS_CHECK(trained_);
-  double qnorm = SquaredNormBlocked(q, dim_);
-
+IvfL2Index::ProbeSet IvfL2Index::PlanProbes(const float* q, double qnorm,
+                                            const ProbePlan& plan) const {
   // Rank lists by centroid distance; probe the closest lists. Ties resolve
   // toward the lower list index (pair comparison), as in the seed.
   std::vector<std::pair<float, size_t>> order;
@@ -386,10 +471,9 @@ std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k, const Pro
   }
   std::stable_sort(order.begin(), order.end());
 
-  // Candidate order runs through the probed lists in probe order, matching
-  // the seed's concatenate-then-stable-sort tie-break.
-  BoundedTopK topk(k);
-  size_t base = 0;
+  // Candidate-order bases run through the probed lists in probe order,
+  // matching the seed's concatenate-then-stable-sort tie-break.
+  ProbeSet set;
   size_t budget = std::min(plan.budget, order.size());
   // Adaptive early termination: once past min_probes, stop at the first list
   // whose centroid distance exceeds ratio x the closest centroid's distance.
@@ -399,18 +483,31 @@ std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k, const Pro
   double cutoff = plan.adaptive && budget > 0
                       ? plan.ratio * std::max(0.0f, order[0].first)
                       : std::numeric_limits<double>::infinity();
-  size_t probes = 0;
+  size_t base = 0;
   for (size_t p = 0; p < budget; ++p) {
     if (plan.adaptive && p >= plan.min_probes && static_cast<double>(order[p].first) > cutoff) {
       break;
     }
-    const RowPool& list = lists_[order[p].second];
-    ScanRows(list, 0, list.size(), q, qnorm, base, topk);
-    base += list.size();
-    ++probes;
+    set.lists.push_back(order[p].second);
+    set.bases.push_back(base);
+    base += list_counts_[order[p].second];
+  }
+  return set;
+}
+
+std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k, const ProbePlan& plan,
+                                             uint64_t* probes_used) const {
+  METIS_CHECK(trained_);
+  double qnorm = SquaredNormBlocked(q, dim_);
+  ProbeSet probes = PlanProbes(q, qnorm, plan);
+  // One heap across every shard of every probed list: the (distance, order)
+  // total order makes the shard visit order irrelevant.
+  BoundedTopK topk(k);
+  for (size_t shard = 0; shard < num_shards_; ++shard) {
+    ScanProbedShard(lists_, probes.lists, probes.bases, shard, q, qnorm, topk);
   }
   if (probes_used != nullptr) {
-    *probes_used = probes;
+    *probes_used = probes.lists.size();
   }
   return topk.Drain();
 }
@@ -446,22 +543,54 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Em
     return results;
   }
   ProbePlan plan = ResolveProbe(quality);
-  // Workers tally probes into per-query slots; the counters fold in after the
-  // ParallelFor barrier, on the calling thread.
-  std::vector<uint64_t> probes(queries.size(), 0);
-  auto sweep = [&](size_t qb, size_t qe) {
+  size_t nq = queries.size();
+  size_t nshards = num_shards_;
+  bool parallel = pool != nullptr && pool->num_threads() > 1;
+
+  // Phase 1 — plan: per-query centroid ranking + adaptive rule, into
+  // disjoint slots (deterministic for any partitioning). The probe count is
+  // fixed here, before any row is scanned.
+  std::vector<double> qnorms(nq);
+  std::vector<ProbeSet> sets(nq);
+  auto plan_phase = [&](size_t qb, size_t qe) {
     for (size_t qi = qb; qi < qe; ++qi) {
-      results[qi] = SearchOne(queries[qi].data(), k, plan, &probes[qi]);
+      qnorms[qi] = SquaredNormBlocked(queries[qi].data(), dim_);
+      sets[qi] = PlanProbes(queries[qi].data(), qnorms[qi], plan);
     }
   };
-  if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
-    pool->ParallelFor(queries.size(), sweep);
+  if (parallel && nq > 1) {
+    pool->ParallelFor(nq, plan_phase);
   } else {
-    sweep(0, queries.size());
+    plan_phase(0, nq);
   }
+
+  // Phase 2 — scan: fan the (query x shard) grid out across the pool, one
+  // heap per cell.
+  std::vector<BoundedTopK> heaps;
+  heaps.reserve(nq * nshards);
+  for (size_t i = 0; i < nq * nshards; ++i) {
+    heaps.emplace_back(k);
+  }
+  auto scan_phase = [&](size_t tb, size_t te) {
+    for (size_t t = tb; t < te; ++t) {
+      size_t qi = t / nshards;
+      size_t shard = t % nshards;
+      ScanProbedShard(lists_, sets[qi].lists, sets[qi].bases, shard, queries[qi].data(),
+                      qnorms[qi], heaps[t]);
+    }
+  };
+  if (parallel && nq * nshards > 1) {
+    pool->ParallelFor(nq * nshards, scan_phase);
+  } else {
+    scan_phase(0, nq * nshards);
+  }
+
+  // Phase 3 — merge per query and fold the probe tally into the counters
+  // after the barrier, on the calling thread.
   uint64_t total = 0;
-  for (uint64_t p : probes) {
-    total += p;
+  for (size_t qi = 0; qi < nq; ++qi) {
+    results[qi] = MergeShardTopK(heaps, qi * nshards, /*stride=*/1, nshards, k);
+    total += sets[qi].lists.size();
   }
   stats_.searches.fetch_add(queries.size(), std::memory_order_relaxed);
   stats_.probes.fetch_add(total, std::memory_order_relaxed);
@@ -478,14 +607,15 @@ constexpr size_t kQueryCacheCapacity = 512;
 std::unique_ptr<VectorIndex> MakeIndex(size_t dim, const RetrievalIndexOptions& options,
                                        IvfL2Index** ivf_out) {
   *ivf_out = nullptr;
+  size_t shards = std::max<size_t>(1, options.shards);
   if (options.backend == RetrievalIndexOptions::Backend::kIvf) {
     auto ivf = std::make_unique<IvfL2Index>(dim, options.nlist, options.nprobe,
-                                            options.train_seed);
+                                            options.train_seed, shards);
     ivf->set_adaptive_probe(options.adaptive);
     *ivf_out = ivf.get();
     return ivf;
   }
-  return std::make_unique<FlatL2Index>(dim);
+  return std::make_unique<FlatL2Index>(dim, shards);
 }
 }  // namespace
 
@@ -507,6 +637,29 @@ ChunkId VectorDatabase::AddChunk(Chunk chunk) {
   return chunks_.back().id;
 }
 
+std::vector<ChunkId> VectorDatabase::AddChunks(std::vector<Chunk> chunks, ThreadPool* pool) {
+  // Embedding (tokenize + hash) dominates bulk load and each text is
+  // independent, so the batch shards across the pool; indexing then runs
+  // serially in order, preserving AddChunk-for-AddChunk identical ids and
+  // insertion orders.
+  std::vector<std::string> texts;
+  texts.reserve(chunks.size());
+  for (const Chunk& c : chunks) {
+    texts.push_back(c.text);
+  }
+  std::vector<Embedding> embeddings = embedder_.EmbedBatch(texts, pool);
+  std::vector<ChunkId> ids;
+  ids.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    Chunk& chunk = chunks[i];
+    chunk.id = static_cast<ChunkId>(chunks_.size());
+    index_->Add(chunk.id, embeddings[i]);
+    chunks_.push_back(std::move(chunk));
+    ids.push_back(chunks_.back().id);
+  }
+  return ids;
+}
+
 void VectorDatabase::FinalizeIndex(ThreadPool* pool) {
   if (ivf_ != nullptr && !ivf_->trained() && ivf_->size() > 0) {
     ivf_->Train(pool);
@@ -522,12 +675,10 @@ std::vector<SearchHit> VectorDatabase::RetrieveWithDistances(const std::string& 
 std::vector<std::vector<SearchHit>> VectorDatabase::RetrieveBatch(
     const std::vector<std::string>& query_texts, size_t k,
     const RetrievalQuality& quality) const {
-  std::vector<Embedding> queries;
-  queries.reserve(query_texts.size());
-  for (const std::string& text : query_texts) {
-    // Copy out of the cache: a later Get() in this loop may evict the slot.
-    queries.push_back(query_cache_.Get(text));
-  }
+  // GetBatch serves cache hits and embeds the misses in one EmbedBatch
+  // (sharded across the search pool), returning owned copies so later cache
+  // evictions cannot invalidate the batch.
+  std::vector<Embedding> queries = query_cache_.GetBatch(query_texts, search_pool_);
   return index_->SearchBatch(queries, k, search_pool_, quality);
 }
 

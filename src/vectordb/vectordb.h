@@ -37,6 +37,11 @@
 //     batch across workers; results are identical for any thread count.
 //   - IVF inverted lists and centroids use the same RowPool layout, and
 //     IvfL2Index::Train can shard its O(n * nlist * dim) scans over a pool.
+//   - Row storage is hash-partitioned across N IndexShards (each its own
+//     RowPool; flat rows and IVF lists both). Every shard row remembers the
+//     candidate order it would have had in the single-shard index, so
+//     shard-parallel top-k heaps merge back to the exact single-shard
+//     ranking — shard count, like thread count, never changes results.
 //
 // Recall subsystem (IVF):
 //
@@ -145,6 +150,33 @@ class RowPool {
   std::vector<ChunkId> ids_;
 };
 
+// --- Shard storage ----------------------------------------------------------
+
+// One hash-partition of an index's vector storage: its own 64-byte-aligned
+// RowPool plus, for each row, the candidate order the row would have had in
+// the equivalent single-shard index (global insertion order for the flat
+// index; in-list insertion order for an IVF inverted list). Top-k selection
+// runs under the (distance, candidate order) total order, which is
+// partition-invariant: scanning shards in any order into one heap — or in
+// parallel into per-shard heaps merged afterwards — reproduces the
+// single-shard ranking bit for bit, ids, order, and distances alike.
+struct IndexShard {
+  explicit IndexShard(size_t dim) : rows(dim) {}
+
+  void Append(ChunkId id, const float* v, size_t order) {
+    rows.Append(id, v);
+    orders.push_back(order);
+  }
+
+  RowPool rows;
+  std::vector<size_t> orders;  // Parallel to rows: single-shard-equivalent order.
+};
+
+// Which shard a row id hashes to under `num_shards` partitions (SplitMix64 of
+// the id). A pure function of (id, num_shards), so rebuilding an index at the
+// same shard count always reproduces the same partitioning.
+size_t ShardOfId(ChunkId id, size_t num_shards);
+
 // --- Probe policies ---------------------------------------------------------
 
 // Per-query adaptive nprobe: the distance-ratio early-termination rule
@@ -211,10 +243,15 @@ class VectorIndex {
   virtual size_t size() const = 0;
 };
 
-// Exact brute-force L2 index (FAISS IndexFlatL2 equivalent).
+// Exact brute-force L2 index (FAISS IndexFlatL2 equivalent). Storage is
+// hash-partitioned across `num_shards` IndexShards — each its own aligned
+// RowPool, so shards can live on (and be scanned by) different cores or
+// sockets — and SearchBatch fans the (shard x query) grid out across the
+// ThreadPool. Results are bit-identical to the single-shard index for any
+// shard count and any thread count (see IndexShard).
 class FlatL2Index : public VectorIndex {
  public:
-  explicit FlatL2Index(size_t dim);
+  explicit FlatL2Index(size_t dim, size_t num_shards = 1);
 
   // Un-hide the base's quality-aware overloads (no-ops for an exact index).
   using VectorIndex::Search;
@@ -225,19 +262,26 @@ class FlatL2Index : public VectorIndex {
   std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries,
                                                   size_t k,
                                                   ThreadPool* pool = nullptr) const override;
-  size_t size() const override { return rows_.size(); }
+  size_t size() const override { return count_; }
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   size_t dim_;
-  RowPool rows_;
+  size_t count_ = 0;  // Rows added so far; doubles as the next global order.
+  std::vector<IndexShard> shards_;
 };
 
 // Inverted-file index: k-means coarse quantizer + per-list exact search.
 // Approximate unless nprobe == nlist; recall is controlled by the fixed
 // nprobe, or per query by an AdaptiveProbePolicy / RetrievalQuality override.
+// Like the flat index, row storage is hash-partitioned: every inverted list
+// is split across `num_shards` IndexShards, and batched search fans the
+// (query x shard) grid out across the ThreadPool after a per-query probe-
+// planning pass. Centroids, training, and probe selection are shard-blind, so
+// rankings (and probe counts) are bit-identical for any shard count.
 class IvfL2Index : public VectorIndex {
  public:
-  IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed);
+  IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, size_t num_shards = 1);
 
   void Add(ChunkId id, const Embedding& v) override;
   std::vector<SearchHit> Search(const Embedding& query, size_t k) const override;
@@ -268,6 +312,7 @@ class IvfL2Index : public VectorIndex {
   const AdaptiveProbePolicy& adaptive_probe() const { return adaptive_; }
   size_t nlist() const { return nlist_; }
   size_t nprobe() const { return nprobe_; }
+  size_t num_shards() const { return num_shards_; }
 
   // --- Probe accounting (recall/latency evaluation) ---
   // Relaxed atomics: concurrent const searches on a shared index stay
@@ -295,6 +340,17 @@ class IvfL2Index : public VectorIndex {
   };
   ProbePlan ResolveProbe(const RetrievalQuality& quality) const;
 
+  // The probe schedule resolved for one query: the inverted lists to scan in
+  // probe order, each with the candidate-order base it has under the
+  // single-shard concatenate-then-sort semantics (cumulative *global* sizes
+  // of the previously probed lists). Shard-blind by construction: it depends
+  // only on centroid distances and total list sizes.
+  struct ProbeSet {
+    std::vector<size_t> lists;
+    std::vector<size_t> bases;
+  };
+  ProbeSet PlanProbes(const float* q, double qnorm, const ProbePlan& plan) const;
+
   size_t NearestCentroid(const float* v) const;
   std::vector<SearchHit> SearchOne(const float* q, size_t k, const ProbePlan& plan,
                                    uint64_t* probes_used) const;
@@ -303,13 +359,18 @@ class IvfL2Index : public VectorIndex {
   size_t nlist_;
   size_t nprobe_;
   uint64_t seed_;
+  size_t num_shards_;
   bool trained_ = false;
   size_t count_ = 0;
   AdaptiveProbePolicy adaptive_;
   RowPool centroids_;
   // Pre-train staging area, emptied by Train().
   RowPool staged_;
-  std::vector<RowPool> lists_;
+  // Inverted lists, hash-partitioned: lists_[list][shard]. list_counts_[list]
+  // is the list's global row count, which is both the next row's in-list
+  // order and the base increment the probe planner uses.
+  std::vector<std::vector<IndexShard>> lists_;
+  std::vector<size_t> list_counts_;
 
   // Copyable atomic counter pair (atomics alone would delete the index's
   // copy/move, which tests rely on); copies snapshot the counts.
@@ -344,6 +405,10 @@ struct DatabaseMetadata {
 struct RetrievalIndexOptions {
   enum class Backend { kFlat, kIvf };
   Backend backend = Backend::kFlat;
+  // Hash-partitions of the row storage (both backends). Results are
+  // bit-identical for any value; >1 gives SearchBatch shard-level
+  // parallelism and NUMA-friendly pools.
+  size_t shards = 1;
   // IVF-only:
   size_t nlist = 64;
   size_t nprobe = 8;
@@ -363,6 +428,11 @@ class VectorDatabase {
 
   // Adds a chunk; embeds its text and indexes it. Returns the chunk id.
   ChunkId AddChunk(Chunk chunk);
+
+  // Bulk load: embeds every chunk's text in one EmbedBatch (sharded across
+  // `pool` when given) and indexes them in order. Identical ids and index
+  // contents to calling AddChunk per chunk, for any pool size.
+  std::vector<ChunkId> AddChunks(std::vector<Chunk> chunks, ThreadPool* pool = nullptr);
 
   // Call once after bulk-loading chunks. Trains the IVF coarse quantizer
   // (no-op for the flat backend or if already trained); chunks added later

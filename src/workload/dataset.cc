@@ -183,7 +183,8 @@ struct PendingChunk {
 }  // namespace
 
 std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
-                                                    const std::string& embedding_model_name) {
+                                                    const std::string& embedding_model_name,
+                                                    const RetrievalIndexOptions& index_options) {
   METIS_CHECK_GT(num_queries, 0);
   Rng root(seed_ ^ HashString64(profile_.name));
   Rng structure = root.Fork("structure");
@@ -388,8 +389,10 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
   meta.domain = profile_.domain;
 
   auto db = std::make_unique<VectorDatabase>(
-      EmbeddingModel(GetEmbeddingModel(embedding_model_name)), meta);
+      EmbeddingModel(GetEmbeddingModel(embedding_model_name)), meta, index_options);
 
+  std::vector<Chunk> chunk_objs;
+  chunk_objs.reserve(pending.size());
   for (size_t ci = 0; ci < pending.size(); ++ci) {
     PendingChunk& pc = pending[ci];
     // Build the chunk as a token stream: topic-seasoned filler with fact
@@ -438,12 +441,21 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
     chunk.text = Join(tokens, " ");
     chunk.token_count = profile_.chunk_tokens;
     chunk.fact_ids = pc.fact_ids;
-    ChunkId id = db->AddChunk(std::move(chunk));
+    chunk_objs.push_back(std::move(chunk));
+  }
 
-    for (int32_t fid : pc.fact_ids) {
-      facts[fid].chunk_id = id;
+  // Bulk load: one EmbedBatch over the whole corpus (sharded across the
+  // pool), then finalize the index — for the IVF backend this trains the
+  // coarse quantizer, so retrieval-depth experiments get a ready index.
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  std::vector<ChunkId> chunk_ids = db->AddChunks(std::move(chunk_objs), &pool);
+  METIS_CHECK_EQ(chunk_ids.size(), pending.size());
+  for (size_t ci = 0; ci < pending.size(); ++ci) {
+    for (int32_t fid : pending[ci].fact_ids) {
+      facts[fid].chunk_id = chunk_ids[ci];
     }
   }
+  db->FinalizeIndex(&pool);
 
   return std::make_unique<Dataset>(profile_, std::move(db), std::move(queries),
                                    std::move(facts));

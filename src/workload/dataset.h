@@ -120,9 +120,14 @@ class DatasetGenerator {
  public:
   DatasetGenerator(DatasetProfile profile, uint64_t seed);
 
-  // Generates `num_queries` queries plus their corpus, embedded and indexed
-  // with the given embedding model.
-  std::unique_ptr<Dataset> Generate(int num_queries, const std::string& embedding_model_name);
+  // Generates `num_queries` queries plus their corpus, embedded (in one
+  // EmbedBatch sharded over a worker pool) and indexed with the given
+  // embedding model. `index_options` picks the retrieval backend the
+  // dataset's VectorDatabase builds (exact flat by default; IVF + shard
+  // count for retrieval-depth experiments) — the index is finalized
+  // (IVF-trained) before the dataset is returned.
+  std::unique_ptr<Dataset> Generate(int num_queries, const std::string& embedding_model_name,
+                                    const RetrievalIndexOptions& index_options = {});
 
  private:
   DatasetProfile profile_;

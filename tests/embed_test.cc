@@ -74,6 +74,66 @@ TEST(EmbeddingTest, CatalogHasThreeModels) {
   EXPECT_EQ(GetEmbeddingModel("all-mpnet-base-v2-sim").dim, 768u);
 }
 
+TEST(EmbedBatchTest, MatchesPerTextEmbedForAnyPoolSize) {
+  EmbeddingModel m = Cohere();
+  std::vector<std::string> texts = {
+      "alpha beta gamma", "", "quarterly revenue figures", "alpha beta gamma",
+      "committee budget vote outcome",
+  };
+  std::vector<Embedding> want;
+  for (const std::string& t : texts) {
+    want.push_back(m.Embed(t));
+  }
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<Embedding> got = m.EmbedBatch(texts, threads == 0 ? nullptr : &pool);
+    ASSERT_EQ(got.size(), texts.size());
+    for (size_t i = 0; i < texts.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(EmbedBatchTest, EmptyBatchIsEmpty) {
+  EmbeddingModel m = Cohere();
+  EXPECT_TRUE(m.EmbedBatch({}).empty());
+}
+
+TEST(EmbeddingCacheTest, GetBatchMatchesGetAndMemoizes) {
+  EmbeddingModel m = Cohere();
+  EmbeddingCache cache(&m, 16);
+  // Warm one entry so the batch sees a pre-existing hit.
+  cache.Get("warm entry text");
+  ThreadPool pool(2);
+  std::vector<std::string> texts = {
+      "warm entry text", "fresh one", "fresh two", "fresh one",  // Duplicate miss.
+  };
+  std::vector<Embedding> got = cache.GetBatch(texts, &pool);
+  ASSERT_EQ(got.size(), texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    EXPECT_EQ(got[i], m.Embed(texts[i])) << "i=" << i;
+  }
+  // 1 warm hit; 2 unique misses (the duplicate is served from the single
+  // computation, not recomputed).
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);  // warm-up miss + 2 batch misses.
+  // Everything from the batch is memoized now.
+  size_t misses_before = cache.misses();
+  cache.GetBatch(texts, nullptr);
+  EXPECT_EQ(cache.misses(), misses_before);
+}
+
+TEST(EmbeddingCacheTest, GetBatchResultsSurviveEviction) {
+  EmbeddingModel m = Cohere();
+  EmbeddingCache cache(&m, 2);  // Tiny: the batch itself forces evictions.
+  std::vector<std::string> texts = {"one text", "two text", "three text", "four text"};
+  std::vector<Embedding> got = cache.GetBatch(texts, nullptr);
+  ASSERT_EQ(got.size(), texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    EXPECT_EQ(got[i], m.Embed(texts[i])) << "i=" << i;  // Owned copies: intact.
+  }
+}
+
 TEST(EmbeddingDeathTest, UnknownModelAborts) {
   EXPECT_DEATH(GetEmbeddingModel("no-such-model"), "CHECK failed");
 }

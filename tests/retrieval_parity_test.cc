@@ -394,6 +394,189 @@ TEST(RetrievalParityTest, IvfTrainIsDeterministicAcrossThreadCounts) {
   }
 }
 
+// --- Sharded storage parity ---------------------------------------------------
+//
+// Hash-partitioned IndexShards must be invisible in results: for ANY shard
+// count and ANY thread count, ids, order, AND float distances are bit-equal
+// to the single-shard index (which is itself seed-parity-tested above). The
+// corpora include heavy duplicate groups so cross-shard tie-breaks are
+// exercised, and shard count 7 leaves shards unevenly filled.
+
+void ExpectBitEqualHits(const std::vector<SearchHit>& got, const std::vector<SearchHit>& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << context << " rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << context << " rank " << i;
+  }
+}
+
+TEST(ShardedParityTest, FlatShardedBitEqualForAnyShardAndThreadCount) {
+  const size_t kDim = 56;
+  const size_t kK = 13;
+  Rng rng(0x5AA5D);
+  std::vector<std::pair<ChunkId, Embedding>> corpus;
+  std::vector<Embedding> stored;
+  for (int i = 0; i < 320; ++i) {
+    // A third duplicates: exact distance ties must break identically no
+    // matter which shard each duplicate landed in.
+    Embedding v = (i >= 90 && i % 3 == 0) ? stored[static_cast<size_t>(i) / 2]
+                                          : RandomUnitVector(rng, kDim);
+    stored.push_back(v);
+    // Non-contiguous ids: the shard hash and the global order must not be
+    // conflated with the id value.
+    corpus.emplace_back(static_cast<ChunkId>(5 * i + 2), v);
+  }
+  std::vector<Embedding> queries;
+  for (int q = 0; q < 21; ++q) {
+    queries.push_back(q % 4 == 0 ? stored[static_cast<size_t>(q) * 9]
+                                 : RandomUnitVector(rng, kDim));
+  }
+
+  FlatL2Index reference(kDim, 1);
+  for (const auto& [id, v] : corpus) {
+    reference.Add(id, v);
+  }
+  std::vector<std::vector<SearchHit>> want;
+  for (const Embedding& q : queries) {
+    want.push_back(reference.Search(q, kK));
+  }
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    FlatL2Index index(kDim, shards);
+    for (const auto& [id, v] : corpus) {
+      index.Add(id, v);
+    }
+    ASSERT_EQ(index.size(), corpus.size());
+    // Single-query path (serial across shards, one heap).
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      ExpectBitEqualHits(index.Search(queries[qi], kK), want[qi],
+                         "search shards=" + std::to_string(shards) + " q=" + std::to_string(qi));
+    }
+    // Batched path: per-(shard x query) heaps merged, across thread counts.
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ThreadPool pool(threads);
+      auto got = index.SearchBatch(queries, kK, &pool);
+      ASSERT_EQ(got.size(), queries.size());
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        ExpectBitEqualHits(got[qi], want[qi],
+                           "batch shards=" + std::to_string(shards) +
+                               " threads=" + std::to_string(threads) +
+                               " q=" + std::to_string(qi));
+      }
+    }
+  }
+}
+
+TEST(ShardedParityTest, IvfShardedBitEqualForAnyShardAndThreadCount) {
+  const size_t kDim = 36;
+  const size_t kK = 11;
+  Rng rng(0x1C0DE);
+  std::vector<std::pair<ChunkId, Embedding>> corpus;
+  std::vector<Embedding> stored;
+  for (int i = 0; i < 350; ++i) {
+    Embedding v = (i >= 120 && i % 4 == 0) ? stored[static_cast<size_t>(i) / 3]
+                                           : RandomUnitVector(rng, kDim);
+    stored.push_back(v);
+    corpus.emplace_back(static_cast<ChunkId>(3 * i + 1), v);
+  }
+  std::vector<Embedding> queries;
+  for (int q = 0; q < 15; ++q) {
+    queries.push_back(q % 5 == 0 ? stored[static_cast<size_t>(q) * 11]
+                                 : RandomUnitVector(rng, kDim));
+  }
+  RetrievalQuality adaptive;
+  adaptive.mode = RetrievalQuality::ProbeMode::kAdaptive;
+  adaptive.nprobe = 6;
+
+  auto build = [&](size_t shards) {
+    IvfL2Index ivf(kDim, 9, 3, 4242, shards);
+    for (const auto& [id, v] : corpus) {
+      ivf.Add(id, v);
+    }
+    ivf.Train();
+    // Post-train adds append through the shard router too.
+    for (int i = 0; i < 30; ++i) {
+      ivf.Add(static_cast<ChunkId>(2000 + i), stored[static_cast<size_t>(i) * 7]);
+    }
+    return ivf;
+  };
+
+  IvfL2Index reference = build(1);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    IvfL2Index ivf = build(shards);
+    ASSERT_EQ(ivf.size(), reference.size());
+    for (const RetrievalQuality& quality : {RetrievalQuality{}, adaptive}) {
+      std::string mode = quality.mode == RetrievalQuality::ProbeMode::kAdaptive ? "adaptive"
+                                                                                : "default";
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        ExpectBitEqualHits(ivf.Search(queries[qi], kK, quality),
+                           reference.Search(queries[qi], kK, quality),
+                           "ivf search shards=" + std::to_string(shards) + " mode=" + mode +
+                               " q=" + std::to_string(qi));
+      }
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        ThreadPool pool(threads);
+        auto got = ivf.SearchBatch(queries, kK, &pool, quality);
+        auto want = reference.SearchBatch(queries, kK, nullptr, quality);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          ExpectBitEqualHits(got[qi], want[qi],
+                             "ivf batch shards=" + std::to_string(shards) + " mode=" + mode +
+                                 " threads=" + std::to_string(threads) +
+                                 " q=" + std::to_string(qi));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedParityTest, ShardedProbeAccountingMatchesSingleShard) {
+  // The probe planner is shard-blind: mean_probes must not depend on the
+  // shard count, in either fixed or adaptive mode.
+  const size_t kDim = 20;
+  Rng rng(0xFACE5);
+  std::vector<Embedding> corpus;
+  for (int i = 0; i < 240; ++i) {
+    corpus.push_back(RandomUnitVector(rng, kDim));
+  }
+  std::vector<Embedding> queries;
+  for (int q = 0; q < 12; ++q) {
+    queries.push_back(RandomUnitVector(rng, kDim));
+  }
+  RetrievalQuality adaptive;
+  adaptive.mode = RetrievalQuality::ProbeMode::kAdaptive;
+  adaptive.nprobe = 5;
+  std::vector<double> fixed_means;
+  std::vector<double> adaptive_means;
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    IvfL2Index ivf(kDim, 8, 2, 99, shards);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      ivf.Add(static_cast<ChunkId>(i), corpus[i]);
+    }
+    ivf.Train();
+    ivf.SearchBatch(queries, 5, nullptr);
+    fixed_means.push_back(ivf.mean_probes());
+    ivf.ResetProbeStats();
+    ivf.SearchBatch(queries, 5, nullptr, adaptive);
+    adaptive_means.push_back(ivf.mean_probes());
+  }
+  EXPECT_EQ(fixed_means[0], fixed_means[1]);
+  EXPECT_EQ(fixed_means[0], 2.0);  // Fixed nprobe=2 probes exactly 2 lists.
+  EXPECT_EQ(adaptive_means[0], adaptive_means[1]);
+}
+
+TEST(ShardedParityTest, ShardOfIdIsStableAndInRange) {
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+    for (ChunkId id = 0; id < 100; ++id) {
+      size_t s = ShardOfId(id, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardOfId(id, shards));  // Pure function of (id, shards).
+    }
+  }
+  EXPECT_EQ(ShardOfId(12345, 1), 0u);
+}
+
 // --- Database-level batching + memo cache ------------------------------------
 
 std::unique_ptr<VectorDatabase> MakeDb() {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Fail when a benchmark run regresses QPS vs a checked-in baseline.
+"""Fail when a benchmark run regresses a watched metric vs a checked-in baseline.
 
 Compares records (matched by "name") between a fresh bench JSON emitted by a
 bench binary (bench_retrieval -> BENCH_retrieval.json, bench_recall ->
@@ -8,14 +8,18 @@ bench/baselines/. A record regresses when
 
     current.<metric> < (1 - tolerance) * baseline.<metric>
 
-for the watched metric (default: qps, higher-is-better). Records missing from
-either side are reported but do not fail the check (configs come and go);
-metric-free records (e.g. the "summary" row) are skipped.
+for the watched metric (default: qps; any higher-is-better metric works, e.g.
+--metric recall_at_10 for the recall gate). Records missing from either side
+are reported but do not fail the check (configs come and go); metric-free
+records (e.g. the "summary" row) are skipped.
 
 QPS is machine-dependent: the baseline is only meaningful for the machine
-family that produced it. Refresh it after intentional perf changes with
---update (or by copying the fresh JSON over the baseline) and commit the new
-baseline alongside the change that moved the numbers.
+family that produced it (the envelope's "note" field records the host).
+Refresh it after intentional perf changes with --update (or by copying the
+fresh JSON over the baseline) and commit the new baseline alongside the
+change that moved the numbers. recall_at_10 is host-independent — the
+kernels are bit-identical across CPUs — so the recall gate runs with a much
+tighter tolerance (see the check_bench_regression CMake target).
 
 Usage:
     tools/check_bench_regression.py [--current build/BENCH_retrieval.json]
