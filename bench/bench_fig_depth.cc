@@ -1,0 +1,228 @@
+// Paper-style retrieval-depth figure (ROADMAP "retrieval-depth experiments"):
+// F1 and delay vs probe budget under load, on the IVF backend, comparing
+//
+//   - fixed run-wide budgets (the PR 3 knob): every query probes B lists,
+//     B swept over the axis;
+//   - profiler-driven per-query budgets (RetrievalDepthPolicy): each query
+//     probes budget(p) = clamp(20 - 4 * num_info_pieces, 4, 16) lists, in
+//     fixed or adaptive (early-termination) mode.
+//
+// The METIS claim transferred to the retrieval knob: per-query adaptation
+// reaches the deep-fixed-budget quality at strictly fewer probes, by
+// spending depth where its marginal F1 is highest — single-fact lookups are
+// all-or-nothing (a missed gold list collapses F1 to ~0), while multihop
+// queries accrue partial credit from the lists nearest their mixture
+// embedding and saturate early, so the budget curve DESCENDS in pieces (the
+// measured direction; rationale in retrieval_depth.h). The corpus is
+// musique_topical: Musique with the topically-clustered embedding geometry
+// real passage collections have, so IVF lists align with topics and depth
+// need genuinely varies per query (RAGGED). The run is a full serving-stack
+// simulation (METIS system, Poisson arrivals), so "F1" and "delay" here are
+// end-to-end, not index-level.
+//
+// All metrics are deterministic for a given spec (simulated time, bit-stable
+// kernels), so BENCH_depth.json reproduces exactly on any host and the CI
+// gate watches mean_f1 with a tight tolerance
+// (bench/baselines/BENCH_depth.baseline.json).
+//
+// Output: console tables + BENCH_depth.json (schema in docs/BENCH.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/retrieval_depth.h"
+#include "src/runner/runner.h"
+#include "src/vectordb/vectordb.h"
+
+using namespace metis;
+
+namespace {
+
+RunSpec BaseSpec() {
+  RunSpec spec;
+  spec.dataset = "musique_topical";  // Clustered geometry: depth need varies per query.
+  spec.num_queries = 150;
+  spec.arrival_rate = 2.0;  // Under load: retrieval shares the stack with queueing.
+  spec.system = SystemKind::kMetis;
+  spec.seed = 42;
+  spec.retrieval.backend = RetrievalIndexOptions::Backend::kIvf;
+  spec.retrieval.nlist = 16;
+  spec.retrieval.nprobe = 4;
+  spec.retrieval.adaptive.min_probes = 1;
+  // Tight squared-distance ratio (1.095x in true distance): early termination
+  // only trims lists that are clearly past the query's topical neighborhood.
+  spec.retrieval.adaptive.distance_ratio = 1.2;
+  // The per-query budget line 20 - 4p over [4, 16]: pieces {1,2,3,>=4} ->
+  // budgets {16,12,8,4} (nlist above is 16, so the cap is exhaustive probing).
+  spec.scheduler.depth.base_probes = 20;
+  spec.scheduler.depth.probes_per_piece = -4;
+  spec.scheduler.depth.min_budget = 4;
+  spec.scheduler.depth.max_budget = 16;
+  return spec;
+}
+
+struct Row {
+  std::string name;
+  std::string mode;
+  double budget_axis = 0;  // Fixed budget B, or the policy max for per-query rows.
+  RunMetrics metrics;
+};
+
+std::string HistogramToString(const std::vector<uint64_t>& hist) {
+  std::string out;
+  for (size_t p = 0; p < hist.size(); ++p) {
+    if (hist[p] > 0) {
+      out += StrFormat("%s%zu:%llu", out.empty() ? "" : " ", p,
+                       static_cast<unsigned long long>(hist[p]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+
+  // --- Fixed run-wide budgets (the per-run knob) ---
+  for (size_t budget : {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{12}, size_t{16}}) {
+    RunSpec spec = BaseSpec();
+    spec.scheduler.per_query_depth = false;
+    spec.scheduler.adaptive_nprobe = false;
+    spec.scheduler.nprobe_budget = budget;
+    Row row;
+    row.name = StrFormat("fixed_b%zu", budget);
+    row.mode = "fixed";
+    row.budget_axis = static_cast<double>(budget);
+    std::printf("running %s ...\n", row.name.c_str());
+    row.metrics = RunExperiment(spec);
+    rows.push_back(std::move(row));
+  }
+
+  // --- Profiler-driven per-query budgets ---
+  for (bool adaptive : {false, true}) {
+    RunSpec spec = BaseSpec();
+    spec.scheduler.per_query_depth = true;
+    spec.scheduler.depth.adaptive = adaptive;
+    Row row;
+    row.name = adaptive ? "perquery_adaptive" : "perquery_fixed";
+    row.mode = adaptive ? "perquery_adaptive" : "perquery_fixed";
+    row.budget_axis = static_cast<double>(spec.scheduler.depth.max_budget);
+    std::printf("running %s ...\n", row.name.c_str());
+    row.metrics = RunExperiment(spec);
+    std::printf("  probe histogram: %s\n",
+                HistogramToString(row.metrics.probe_histogram).c_str());
+    rows.push_back(std::move(row));
+  }
+
+  // --- Tables + JSON ---
+  Table table(
+      "bench_fig_depth: end-to-end F1 / delay vs probe budget (musique_topical, IVF nlist=16)");
+  table.SetHeader({"config", "mean F1", "mean delay (s)", "p90 delay (s)", "mean probes"});
+  std::vector<BenchJsonRecord> records;
+  for (const Row& row : rows) {
+    table.AddRow({row.name, Table::Num(row.metrics.mean_f1(), 4),
+                  Table::Num(row.metrics.mean_delay(), 3),
+                  Table::Num(row.metrics.p90_delay(), 3),
+                  Table::Num(row.metrics.mean_probes, 2)});
+    BenchJsonRecord rec;
+    rec.name = row.name;
+    rec.tags = {{"mode", row.mode}, {"dataset", "musique_topical"}};
+    rec.metrics = {{"budget", row.budget_axis},
+                   {"mean_f1", row.metrics.mean_f1()},
+                   {"mean_delay_s", row.metrics.mean_delay()},
+                   {"p90_delay_s", row.metrics.p90_delay()},
+                   {"mean_probes", row.metrics.mean_probes},
+                   {"throughput_qps", row.metrics.throughput_qps}};
+    records.push_back(std::move(rec));
+  }
+  table.Print();
+
+  // --- Verdicts ---
+  const Row* fixed_ref = nullptr;      // The deep fixed reference (b12).
+  const Row* fixed_shallow = nullptr;  // b1.
+  const Row* pq_fixed = nullptr;
+  const Row* pq_adaptive = nullptr;
+  for (const Row& row : rows) {
+    if (row.name == "fixed_b12") fixed_ref = &row;
+    if (row.name == "fixed_b1") fixed_shallow = &row;
+    if (row.name == "perquery_fixed") pq_fixed = &row;
+    if (row.name == "perquery_adaptive") pq_adaptive = &row;
+  }
+  bool ok = true;
+  if (fixed_ref != nullptr && fixed_shallow != nullptr && pq_fixed != nullptr &&
+      pq_adaptive != nullptr) {
+    PrintShapeCheck(
+        "depth matters: deep fixed budget beats shallow fixed budget on F1",
+        StrFormat("b12 F1 %.4f vs b1 F1 %.4f", fixed_ref->metrics.mean_f1(),
+                  fixed_shallow->metrics.mean_f1()),
+        fixed_ref->metrics.mean_f1() > fixed_shallow->metrics.mean_f1());
+    bool pq_fixed_ok = pq_fixed->metrics.mean_f1() >= fixed_ref->metrics.mean_f1() &&
+                       pq_fixed->metrics.mean_probes < fixed_ref->metrics.mean_probes;
+    PrintShapeCheck(
+        "per-query budgets reach the fixed-b12 F1 at strictly fewer mean probes",
+        StrFormat("perquery %.4f @ %.2f probes vs fixed %.4f @ %.2f",
+                  pq_fixed->metrics.mean_f1(), pq_fixed->metrics.mean_probes,
+                  fixed_ref->metrics.mean_f1(), fixed_ref->metrics.mean_probes),
+        pq_fixed_ok);
+    bool pq_adaptive_ok =
+        pq_adaptive->metrics.mean_f1() >= fixed_ref->metrics.mean_f1() &&
+        pq_adaptive->metrics.mean_probes < pq_fixed->metrics.mean_probes;
+    PrintShapeCheck(
+        "adaptive mode trims further probes without losing the fixed-b12 F1",
+        StrFormat("adaptive %.4f @ %.2f probes vs perquery-fixed @ %.2f",
+                  pq_adaptive->metrics.mean_f1(), pq_adaptive->metrics.mean_probes,
+                  pq_fixed->metrics.mean_probes),
+        pq_adaptive_ok);
+    // The frontier statement: the CHEAPEST fixed budget whose F1 matches the
+    // per-query row spends strictly more probes than the per-query row does.
+    double cheapest_matching_fixed = -1;
+    for (const Row& row : rows) {
+      if (row.mode == "fixed" && row.metrics.mean_f1() >= pq_fixed->metrics.mean_f1()) {
+        if (cheapest_matching_fixed < 0 || row.budget_axis < cheapest_matching_fixed) {
+          cheapest_matching_fixed = row.budget_axis;
+        }
+      }
+    }
+    bool frontier_ok = cheapest_matching_fixed > pq_fixed->metrics.mean_probes;
+    PrintShapeCheck(
+        "matching the per-query F1 with a run-wide budget costs more probes",
+        cheapest_matching_fixed < 0
+            ? StrFormat("no fixed budget up to 16 reaches perquery F1 %.4f (mean %.2f probes)",
+                        pq_fixed->metrics.mean_f1(), pq_fixed->metrics.mean_probes)
+            : StrFormat("fixed needs b=%.0f vs perquery mean %.2f probes",
+                        cheapest_matching_fixed, pq_fixed->metrics.mean_probes),
+        cheapest_matching_fixed < 0 || frontier_ok);
+    ok = fixed_ref->metrics.mean_f1() > fixed_shallow->metrics.mean_f1() && pq_fixed_ok &&
+         pq_adaptive_ok && (cheapest_matching_fixed < 0 || frontier_ok);
+  } else {
+    std::printf("missing rows for verdicts\n");
+    ok = false;
+  }
+
+  const RunSpec base = BaseSpec();
+  BenchJsonRecord summary;
+  summary.name = "summary";
+  summary.tags = {{"mode", "summary"}, {"dataset", base.dataset}};
+  summary.metrics = {{"num_queries", static_cast<double>(base.num_queries)},
+                     {"arrival_rate_qps", base.arrival_rate},
+                     {"nlist", static_cast<double>(base.retrieval.nlist)},
+                     {"depth_base", static_cast<double>(base.scheduler.depth.base_probes)},
+                     {"depth_slope", static_cast<double>(base.scheduler.depth.probes_per_piece)},
+                     {"depth_min", static_cast<double>(base.scheduler.depth.min_budget)},
+                     {"depth_max", static_cast<double>(base.scheduler.depth.max_budget)},
+                     {"host_cpus",
+                      static_cast<double>(std::max(1u, std::thread::hardware_concurrency()))}};
+  records.push_back(std::move(summary));
+  WriteBenchJson("BENCH_depth.json", "depth", records,
+                 "all metrics are simulation-deterministic and host-independent "
+                 "(bit-identical kernels + simulated time)");
+  std::printf("wrote BENCH_depth.json (%zu records)\n", records.size());
+  return ok ? 0 : 1;
+}

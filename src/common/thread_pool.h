@@ -41,6 +41,16 @@ class ThreadPool {
   // fn must not throw.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
+  // Fire-and-forget: enqueues `task` for a worker; returns immediately. With
+  // zero workers the task runs inline. Tasks may Submit follow-up tasks —
+  // including from inside a running task during destruction: the destructor
+  // drains the queue AND waits out running tasks (which may still submit)
+  // before joining, so every task submitted before or from within a task is
+  // guaranteed to execute. Submitting from outside the pool's tasks after
+  // the destructor has begun is a data race (as with any object). task must
+  // not throw.
+  void Submit(std::function<void()> task);
+
   // A reasonable worker count for this machine.
   static size_t DefaultThreads();
 
@@ -51,6 +61,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
+  size_t active_ = 0;  // Tasks currently executing (shutdown gate: a running
+                       // task may still Submit follow-up work).
   bool stop_ = false;
 };
 

@@ -19,10 +19,18 @@ JointScheduler::JointScheduler(const LlmEngine* engine, const SynthesisExecutor*
     : engine_(engine),
       executor_(executor),
       intermediate_stride_(intermediate_stride),
-      options_(options) {
+      options_(options),
+      depth_policy_(options.depth) {
   METIS_CHECK(engine != nullptr);
   METIS_CHECK(executor != nullptr);
   METIS_CHECK_GT(intermediate_stride, 0);
+}
+
+RetrievalQuality JointScheduler::RetrievalQualityFor(const QueryProfile& profile) const {
+  if (options_.per_query_depth) {
+    return depth_policy_.QualityFor(profile);
+  }
+  return RetrievalQualityFromOptions(options_);
 }
 
 double JointScheduler::PeakBytes(const RagConfig& config, int query_tokens,
@@ -76,6 +84,7 @@ SchedulerDecision JointScheduler::Choose(const PrunedConfigSpace& space,
                                          const QueryProfile& profile, int query_tokens,
                                          int output_estimate) const {
   SchedulerDecision decision;
+  decision.retrieval = RetrievalQualityFor(profile);
   decision.free_bytes = options_.use_projected_free ? engine_->projected_free_kv_bytes()
                                                     : engine_->free_kv_bytes();
 

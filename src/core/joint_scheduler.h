@@ -19,6 +19,7 @@
 #define METIS_SRC_CORE_JOINT_SCHEDULER_H_
 
 #include "src/core/mapping.h"
+#include "src/core/retrieval_depth.h"
 #include "src/llm/engine.h"
 #include "src/synthesis/synthesis.h"
 
@@ -26,6 +27,11 @@ namespace metis {
 
 struct SchedulerDecision {
   RagConfig config;
+  // Retrieval depth chosen for THIS query (profiler-driven when
+  // JointSchedulerOptions::per_query_depth, else the per-run knob) — the
+  // retrieval-side half of the configuration, threaded to
+  // SynthesisExecutor::Execute alongside `config`.
+  RetrievalQuality retrieval;
   bool used_fallback = false;
   double peak_bytes = 0;     // Estimated peak KV footprint of the choice.
   double free_bytes = 0;     // Free KV at decision time (for tracing).
@@ -63,6 +69,15 @@ struct JointSchedulerOptions {
   //     mode); 0 = the index's configured default.
   bool adaptive_nprobe = true;
   size_t nprobe_budget = 0;
+  // Per-QUERY retrieval depth (the METIS §4 treatment of the knob above):
+  // when true, profiler-driven systems derive each query's RetrievalQuality
+  // from its QueryProfile via RetrievalDepthPolicy (`depth` holds the budget
+  // curve) instead of applying adaptive_nprobe/nprobe_budget run-wide. False
+  // restores the PR 3 per-run knob bit-for-bit (parity-tested). Like the
+  // knobs above, only bites on the approximate IVF backend, and only for
+  // systems that profile (fixed-config baselines have no QueryProfile).
+  bool per_query_depth = true;
+  RetrievalDepthPolicyOptions depth;
 };
 
 // The RetrievalQuality handed to SynthesisExecutor / RetrievalBatcher for a
@@ -80,9 +95,18 @@ class JointScheduler {
   // Total KV bytes across all of a config's calls (tie-break desirability).
   double TotalBytes(const RagConfig& config, int query_tokens, int output_estimate) const;
 
-  // The best-fit selection described above.
+  // The best-fit selection described above. The decision also carries the
+  // query's retrieval depth (see RetrievalQualityFor).
   SchedulerDecision Choose(const PrunedConfigSpace& space, const QueryProfile& profile,
                            int query_tokens, int output_estimate) const;
+
+  // Retrieval depth for one query: the RetrievalDepthPolicy mapping of
+  // `profile` when options().per_query_depth, else the per-run
+  // RetrievalQualityFromOptions knob. Callers that bypass Choose (the
+  // median-of-space ablation pick) use this directly.
+  RetrievalQuality RetrievalQualityFor(const QueryProfile& profile) const;
+
+  const RetrievalDepthPolicy& depth_policy() const { return depth_policy_; }
 
   // Resource-oblivious reference policies (ablation / baselines):
   // median of the pruned space (the "straw-man" of §4.3).
@@ -109,6 +133,7 @@ class JointScheduler {
   const SynthesisExecutor* executor_;
   int intermediate_stride_;
   JointSchedulerOptions options_;
+  RetrievalDepthPolicy depth_policy_;
 };
 
 }  // namespace metis

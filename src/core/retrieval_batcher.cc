@@ -16,9 +16,15 @@ RetrievalBatcher::RetrievalBatcher(Simulator* sim, const VectorDatabase* db,
 }
 
 void RetrievalBatcher::Submit(std::string query_text, size_t k, Callback cb) {
+  Submit(std::move(query_text), k, quality_, std::move(cb));
+}
+
+void RetrievalBatcher::Submit(std::string query_text, size_t k, const RetrievalQuality& quality,
+                              Callback cb) {
   METIS_CHECK(cb != nullptr);
   ++requests_;
-  pending_.push_back(Pending{std::move(query_text), k, std::move(cb), sim_->now() + delay_});
+  pending_.push_back(
+      Pending{std::move(query_text), k, quality, std::move(cb), sim_->now() + delay_});
   // Per-request event: claims the exact (time, sequence) slot the seed's
   // per-query ScheduleAfter would have, so coalescing cannot reorder this
   // callback relative to any other same-instant event in the simulation.
@@ -40,14 +46,18 @@ void RetrievalBatcher::Deliver() {
     }
     METIS_CHECK_GT(group, 0u);
     std::vector<std::string> texts;
+    std::vector<RetrievalQuality> qualities;
     texts.reserve(group);
+    qualities.reserve(group);
     for (size_t i = 0; i < group; ++i) {
       texts.push_back(pending_[i].text);
+      qualities.push_back(pending_[i].quality);
     }
     // One shared sweep at the largest requested width; per-request widths
     // are prefixes of it (top-k lists are prefix-consistent under the
-    // index's (distance, insertion-order) total order).
-    std::vector<std::vector<SearchHit>> hits = db_->RetrieveBatch(texts, max_k, quality_);
+    // index's (distance, insertion-order) total order), and each request
+    // keeps its own retrieval depth through the heterogeneous-quality sweep.
+    std::vector<std::vector<SearchHit>> hits = db_->RetrieveBatch(texts, max_k, qualities);
     ++batches_;
     max_batch_ = std::max(max_batch_, group);
     for (size_t i = 0; i < group; ++i) {

@@ -34,17 +34,24 @@ class RetrievalBatcher {
  public:
   using Callback = std::function<void(std::vector<ChunkId>)>;
 
-  // `quality` is applied to every coalesced sweep (the serving stack's
-  // retrieval-depth knob, from JointSchedulerOptions); the default leaves the
-  // database's own index policy in charge. Probe selection depends only on
-  // the query (never on k), so mixed-k groups stay prefix-consistent under
-  // any quality setting.
+  // `quality` is the default for requests submitted without their own (the
+  // serving stack's per-run retrieval-depth knob, from
+  // JointSchedulerOptions); the default-default leaves the database's own
+  // index policy in charge. Probe selection depends only on the query (never
+  // on k), so mixed-k groups stay prefix-consistent under any quality
+  // setting.
   RetrievalBatcher(Simulator* sim, const VectorDatabase* db, double delay_seconds,
                    RetrievalQuality quality = {});
 
   // Requests the top-k chunks for `query_text`; `cb` runs in simulation
-  // context exactly delay_seconds from now.
+  // context exactly delay_seconds from now. The first form retrieves at the
+  // batcher's default quality; the second carries a per-QUERY quality (the
+  // profiler-driven depth), so one coalesced sweep can mix probe budgets —
+  // results stay bit-identical to uncoalesced per-query scans either way
+  // (the index resolves a probe plan per query; see
+  // VectorIndex::SearchBatch's heterogeneous overload).
   void Submit(std::string query_text, size_t k, Callback cb);
+  void Submit(std::string query_text, size_t k, const RetrievalQuality& quality, Callback cb);
 
   // --- Introspection (tests, benches) ---
   size_t requests() const { return requests_; }
@@ -62,6 +69,7 @@ class RetrievalBatcher {
   struct Pending {
     std::string text;
     size_t k;
+    RetrievalQuality quality;
     Callback cb;
     SimTime due;
   };

@@ -169,13 +169,15 @@ void MetisSystem::Accept(const RagQuery& query) {
                                     options_.output_token_estimate);
     } else {
       decision.config = scheduler_->MedianOfSpace(space);
+      decision.retrieval = scheduler_->RetrievalQualityFor(outcome.profile);
     }
 
-    executor_->Execute(query, decision.config,
+    executor_->Execute(query, decision.config, decision.retrieval,
                        [this, query, arrival, outcome, decision,
                         low_confidence](RagResult result) {
       QueryRecord rec = MakeRecord("metis", query, decision.config, arrival, sim_->now(),
                                    std::move(result));
+      rec.retrieval_quality = decision.retrieval;
       rec.profile = outcome.profile;
       rec.profile_was_bad = outcome.was_bad;
       rec.profiler_delay = outcome.delay_seconds;

@@ -36,6 +36,10 @@ struct QueryRecord {
   int32_t query_id = -1;
   std::string system;
   RagConfig config;
+  // Retrieval depth the stack used for this query (per-query when
+  // JointSchedulerOptions::per_query_depth; the default value for
+  // fixed-config systems, which retrieve at the stack-wide knob).
+  RetrievalQuality retrieval_quality;
   QueryProfile profile;  // As estimated (default for fixed-config systems).
   bool profile_was_bad = false;
   bool low_confidence_fallback = false;

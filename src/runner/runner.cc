@@ -251,6 +251,7 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     metrics.engine_stats = engine.stats();
     if (ds.dataset->db().ivf_index() != nullptr) {
       metrics.mean_probes = ds.dataset->db().ivf_index()->mean_probes();
+      metrics.probe_histogram = ds.dataset->db().ivf_index()->probe_histogram();
     }
     if (model.api_model) {
       double cost = 0;
@@ -411,6 +412,7 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   metrics.engine_stats = stack.engine->stats();
   if (ivf != nullptr) {
     metrics.mean_probes = ivf->mean_probes();
+    metrics.probe_histogram = ivf->probe_histogram();
   }
 
   if (model.api_model) {

@@ -78,6 +78,13 @@ struct RunMetrics {
   // this run (0 under the flat backend) — the observable that proves the
   // retrieval-depth knob reached the index.
   double mean_probes = 0;
+  // IVF backend only: per-query probe-depth distribution — bucket p counts
+  // searches that scanned exactly p inverted lists (last bucket clamps; see
+  // IvfL2Index::probe_histogram). Empty under the flat backend. With a fixed
+  // budget B the whole run lands in bucket B; with per-query depth
+  // (JointSchedulerOptions::per_query_depth) the spread shows which budgets
+  // the RetrievalDepthPolicy actually assigned.
+  std::vector<uint64_t> probe_histogram;
   double engine_cost_usd = 0;
   double profiler_cost_usd = 0;
   double total_cost_usd() const { return engine_cost_usd + profiler_cost_usd; }

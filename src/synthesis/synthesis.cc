@@ -103,6 +103,12 @@ RagResult SynthesisExecutor::Finalize(const RagQuery& query, const RagConfig& co
 
 void SynthesisExecutor::Execute(const RagQuery& query, const RagConfig& config,
                                 std::function<void(RagResult)> done) {
+  Execute(query, config, std::nullopt, std::move(done));
+}
+
+void SynthesisExecutor::Execute(const RagQuery& query, const RagConfig& config,
+                                const std::optional<RetrievalQuality>& retrieval_quality,
+                                std::function<void(RagResult)> done) {
   METIS_CHECK(done != nullptr);
   RagConfig cfg = config;
   cfg.num_chunks = std::clamp(cfg.num_chunks, 1,
@@ -118,13 +124,13 @@ void SynthesisExecutor::Execute(const RagQuery& query, const RagConfig& config,
   cfg.intermediate_tokens = std::max(cfg.intermediate_tokens, 1);
   switch (cfg.method) {
     case SynthesisMethod::kStuff:
-      RunStuff(query, cfg, std::move(done));
+      RunStuff(query, cfg, retrieval_quality, std::move(done));
       return;
     case SynthesisMethod::kMapRerank:
-      RunMapRerank(query, cfg, std::move(done));
+      RunMapRerank(query, cfg, retrieval_quality, std::move(done));
       return;
     case SynthesisMethod::kMapReduce:
-      RunMapReduce(query, cfg, std::move(done));
+      RunMapReduce(query, cfg, retrieval_quality, std::move(done));
       return;
   }
   METIS_CHECK(false && "unreachable");
@@ -148,22 +154,29 @@ int CountGoldCoverage(const Dataset& dataset, const RagQuery& query,
 }  // namespace
 
 void SynthesisExecutor::RetrieveChunks(const RagQuery& query, int num_chunks,
+                                       const std::optional<RetrievalQuality>& quality,
                                        std::function<void(std::vector<ChunkId>)> then) {
   size_t k = static_cast<size_t>(num_chunks);
   if (batcher_ != nullptr) {
-    batcher_->Submit(query.text, k, std::move(then));
+    if (quality.has_value()) {
+      batcher_->Submit(query.text, k, *quality, std::move(then));
+    } else {
+      batcher_->Submit(query.text, k, std::move(then));
+    }
     return;
   }
   sim_->ScheduleAfter(kRetrievalSeconds,
-                      [this, text = query.text, k, then = std::move(then)]() mutable {
-                        then(dataset_->db().Retrieve(text, k, retrieval_quality_));
+                      [this, text = query.text, k, q = quality.value_or(retrieval_quality_),
+                       then = std::move(then)]() mutable {
+                        then(dataset_->db().Retrieve(text, k, q));
                       });
 }
 
 void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
+                                 const std::optional<RetrievalQuality>& quality,
                                  std::function<void(RagResult)> done) {
   SimTime exec_start = sim_->now();
-  RetrieveChunks(query, config.num_chunks, [this, query, config, exec_start,
+  RetrieveChunks(query, config.num_chunks, quality, [this, query, config, exec_start,
                                             done = std::move(done)](
                                                std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));
@@ -215,9 +228,10 @@ void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
 }
 
 void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& config,
+                                     const std::optional<RetrievalQuality>& quality,
                                      std::function<void(RagResult)> done) {
   SimTime exec_start = sim_->now();
-  RetrieveChunks(query, config.num_chunks, [this, query, config, exec_start,
+  RetrieveChunks(query, config.num_chunks, quality, [this, query, config, exec_start,
                                             done = std::move(done)](
                                                std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));
@@ -292,9 +306,10 @@ void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& con
 }
 
 void SynthesisExecutor::RunMapReduce(const RagQuery& query, const RagConfig& config,
+                                     const std::optional<RetrievalQuality>& quality,
                                      std::function<void(RagResult)> done) {
   SimTime exec_start = sim_->now();
-  RetrieveChunks(query, config.num_chunks, [this, query, config, exec_start,
+  RetrieveChunks(query, config.num_chunks, quality, [this, query, config, exec_start,
                                             done = std::move(done)](
                                                std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));

@@ -15,6 +15,7 @@
 #define METIS_SRC_SYNTHESIS_SYNTHESIS_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "src/llm/behavior.h"
@@ -58,13 +59,21 @@ class SynthesisExecutor {
                     RetrievalBatcher* batcher = nullptr);
 
   // Runs retrieval + synthesis for `query` under `config`; invokes `done`
-  // from simulation context when the answer is complete.
+  // from simulation context when the answer is complete. The three-argument
+  // form retrieves at the stack-wide default depth (set_retrieval_quality /
+  // the batcher's own quality); the four-argument form carries a per-QUERY
+  // RetrievalQuality — the profiler-driven depth the scheduler decided for
+  // this query — through the retrieval front half (batcher or direct scan).
   void Execute(const RagQuery& query, const RagConfig& config,
                std::function<void(RagResult)> done);
+  void Execute(const RagQuery& query, const RagConfig& config,
+               const std::optional<RetrievalQuality>& retrieval_quality,
+               std::function<void(RagResult)> done);
 
-  // Retrieval-depth knob applied to every direct (non-batcher) retrieval;
-  // a batcher carries its own copy. No-op on exact (flat) index backends.
-  // Set once at stack-build time (runner), before queries execute.
+  // Retrieval-depth knob applied to every direct (non-batcher) retrieval
+  // without a per-query override; a batcher carries its own copy. No-op on
+  // exact (flat) index backends. Set once at stack-build time (runner),
+  // before queries execute.
   void set_retrieval_quality(const RetrievalQuality& quality) { retrieval_quality_ = quality; }
   const RetrievalQuality& retrieval_quality() const { return retrieval_quality_; }
 
@@ -88,14 +97,20 @@ class SynthesisExecutor {
   // Retrieval front half shared by the three pipelines: top-`num_chunks` ids
   // arrive at `then` exactly kRetrievalSeconds from now, through the batcher
   // when one is wired (shared sweep) or a direct per-query scan otherwise.
+  // `quality` (engaged for per-query-depth executions) overrides the stack
+  // default for this one retrieval.
   void RetrieveChunks(const RagQuery& query, int num_chunks,
+                      const std::optional<RetrievalQuality>& quality,
                       std::function<void(std::vector<ChunkId>)> then);
 
   void RunStuff(const RagQuery& query, const RagConfig& config,
+                const std::optional<RetrievalQuality>& quality,
                 std::function<void(RagResult)> done);
   void RunMapRerank(const RagQuery& query, const RagConfig& config,
+                    const std::optional<RetrievalQuality>& quality,
                     std::function<void(RagResult)> done);
   void RunMapReduce(const RagQuery& query, const RagConfig& config,
+                    const std::optional<RetrievalQuality>& quality,
                     std::function<void(RagResult)> done);
 
   RagResult Finalize(const RagQuery& query, const RagConfig& config, SimTime exec_start,

@@ -181,6 +181,19 @@ std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
   return results;
 }
 
+std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
+    const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
+    const std::vector<RetrievalQuality>& qualities) const {
+  METIS_CHECK_EQ(qualities.size(), queries.size());
+  (void)pool;
+  std::vector<std::vector<SearchHit>> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results.push_back(Search(queries[i], k, qualities[i]));
+  }
+  return results;
+}
+
 // --- FlatL2Index ------------------------------------------------------------
 
 FlatL2Index::FlatL2Index(size_t dim, size_t num_shards) : dim_(dim) {
@@ -268,6 +281,13 @@ std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(const std::vector<E
     results[qi] = MergeShardTopK(heaps, /*start=*/qi, /*stride=*/nq, nshards, k);
   }
   return results;
+}
+
+std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(
+    const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
+    const std::vector<RetrievalQuality>& qualities) const {
+  METIS_CHECK_EQ(qualities.size(), queries.size());
+  return SearchBatch(queries, k, pool);
 }
 
 // --- IvfL2Index -------------------------------------------------------------
@@ -521,9 +541,16 @@ std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k,
   METIS_CHECK_EQ(query.size(), dim_);
   uint64_t probes = 0;
   std::vector<SearchHit> hits = SearchOne(query.data(), k, ResolveProbe(quality), &probes);
-  stats_.searches.fetch_add(1, std::memory_order_relaxed);
-  stats_.probes.fetch_add(probes, std::memory_order_relaxed);
+  stats_.Record(probes);
   return hits;
+}
+
+std::vector<uint64_t> IvfL2Index::probe_histogram() const {
+  std::vector<uint64_t> hist(kProbeHistogramBuckets);
+  for (size_t i = 0; i < hist.size(); ++i) {
+    hist[i] = stats_.hist[i].load(std::memory_order_relaxed);
+  }
+  return hist;
 }
 
 std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Embedding>& queries,
@@ -534,7 +561,14 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Em
 std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Embedding>& queries,
                                                             size_t k, ThreadPool* pool,
                                                             const RetrievalQuality& quality) const {
+  return SearchBatch(queries, k, pool, std::vector<RetrievalQuality>(queries.size(), quality));
+}
+
+std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(
+    const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
+    const std::vector<RetrievalQuality>& qualities) const {
   METIS_CHECK(trained_);
+  METIS_CHECK_EQ(qualities.size(), queries.size());
   for (const Embedding& q : queries) {
     METIS_CHECK_EQ(q.size(), dim_);
   }
@@ -542,20 +576,20 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Em
   if (queries.empty()) {
     return results;
   }
-  ProbePlan plan = ResolveProbe(quality);
   size_t nq = queries.size();
   size_t nshards = num_shards_;
   bool parallel = pool != nullptr && pool->num_threads() > 1;
 
   // Phase 1 — plan: per-query centroid ranking + adaptive rule, into
-  // disjoint slots (deterministic for any partitioning). The probe count is
-  // fixed here, before any row is scanned.
+  // disjoint slots (deterministic for any partitioning). Each query resolves
+  // its OWN quality override, so a coalesced group can mix probe modes and
+  // budgets; the probe count is fixed here, before any row is scanned.
   std::vector<double> qnorms(nq);
   std::vector<ProbeSet> sets(nq);
   auto plan_phase = [&](size_t qb, size_t qe) {
     for (size_t qi = qb; qi < qe; ++qi) {
       qnorms[qi] = SquaredNormBlocked(queries[qi].data(), dim_);
-      sets[qi] = PlanProbes(queries[qi].data(), qnorms[qi], plan);
+      sets[qi] = PlanProbes(queries[qi].data(), qnorms[qi], ResolveProbe(qualities[qi]));
     }
   };
   if (parallel && nq > 1) {
@@ -587,13 +621,10 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Em
 
   // Phase 3 — merge per query and fold the probe tally into the counters
   // after the barrier, on the calling thread.
-  uint64_t total = 0;
   for (size_t qi = 0; qi < nq; ++qi) {
     results[qi] = MergeShardTopK(heaps, qi * nshards, /*stride=*/1, nshards, k);
-    total += sets[qi].lists.size();
+    stats_.Record(sets[qi].lists.size());
   }
-  stats_.searches.fetch_add(queries.size(), std::memory_order_relaxed);
-  stats_.probes.fetch_add(total, std::memory_order_relaxed);
   return results;
 }
 
@@ -680,6 +711,14 @@ std::vector<std::vector<SearchHit>> VectorDatabase::RetrieveBatch(
   // evictions cannot invalidate the batch.
   std::vector<Embedding> queries = query_cache_.GetBatch(query_texts, search_pool_);
   return index_->SearchBatch(queries, k, search_pool_, quality);
+}
+
+std::vector<std::vector<SearchHit>> VectorDatabase::RetrieveBatch(
+    const std::vector<std::string>& query_texts, size_t k,
+    const std::vector<RetrievalQuality>& qualities) const {
+  METIS_CHECK_EQ(qualities.size(), query_texts.size());
+  std::vector<Embedding> queries = query_cache_.GetBatch(query_texts, search_pool_);
+  return index_->SearchBatch(queries, k, search_pool_, qualities);
 }
 
 std::vector<ChunkId> VectorDatabase::Retrieve(const std::string& query_text, size_t k,

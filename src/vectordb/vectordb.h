@@ -65,6 +65,8 @@
 #ifndef METIS_SRC_VECTORDB_VECTORDB_H_
 #define METIS_SRC_VECTORDB_VECTORDB_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <memory>
@@ -193,7 +195,10 @@ struct AdaptiveProbePolicy {
 // Per-call retrieval-quality override, threaded from the serving-stack
 // configuration (JointSchedulerOptions) through SynthesisExecutor /
 // RetrievalBatcher / VectorDatabase down to the index. Ignored by exact
-// (flat) backends.
+// (flat) backends. Since PR 4 the override is per *query*, not just per
+// call: the profiler-driven RetrievalDepthPolicy (src/core/) assigns each
+// query its own quality, and the batched sweeps accept one RetrievalQuality
+// per query (heterogeneous groups stay bit-identical to per-query scans).
 struct RetrievalQuality {
   enum class ProbeMode {
     kIndexDefault,  // Use the index's own AdaptiveProbePolicy / nprobe.
@@ -240,6 +245,14 @@ class VectorIndex {
     (void)quality;
     return SearchBatch(queries, k, pool);
   }
+  // Heterogeneous-quality batch: qualities[i] applies to queries[i] only
+  // (the per-query retrieval-depth knob). results[i] must be bit-identical
+  // to Search(queries[i], k, qualities[i]) for every i. Exact backends
+  // ignore the qualities; the default loops the quality-aware Search, and
+  // concrete indexes override it with a shared sweep.
+  virtual std::vector<std::vector<SearchHit>> SearchBatch(
+      const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
+      const std::vector<RetrievalQuality>& qualities) const;
   virtual size_t size() const = 0;
 };
 
@@ -262,6 +275,11 @@ class FlatL2Index : public VectorIndex {
   std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries,
                                                   size_t k,
                                                   ThreadPool* pool = nullptr) const override;
+  // Exact backend: per-query qualities carry no information, so the
+  // heterogeneous batch is the plain shared sweep.
+  std::vector<std::vector<SearchHit>> SearchBatch(
+      const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
+      const std::vector<RetrievalQuality>& qualities) const override;
   size_t size() const override { return count_; }
   size_t num_shards() const { return shards_.size(); }
 
@@ -296,6 +314,13 @@ class IvfL2Index : public VectorIndex {
   std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries, size_t k,
                                                   ThreadPool* pool,
                                                   const RetrievalQuality& quality) const override;
+  // Heterogeneous per-query qualities: the coalesced sweep resolves one
+  // ProbePlan per query from qualities[i] — probe schedules, results, and
+  // probe accounting are bit-identical to per-query Search calls (the
+  // uniform-quality overloads all funnel here).
+  std::vector<std::vector<SearchHit>> SearchBatch(
+      const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
+      const std::vector<RetrievalQuality>& qualities) const override;
   // O(1): a running count maintained by Add()/Train().
   size_t size() const override { return count_; }
 
@@ -324,9 +349,19 @@ class IvfL2Index : public VectorIndex {
     uint64_t s = searches();
     return s == 0 ? 0.0 : static_cast<double>(probes_issued()) / static_cast<double>(s);
   }
+  // Per-query probe-depth histogram: bucket p counts searches that scanned
+  // exactly p inverted lists (the last bucket absorbs deeper scans). The
+  // per-query observable behind RunMetrics::probe_histogram — with a fixed
+  // budget every search lands in one bucket; with per-query depth the
+  // distribution shows where the policy spent its probes.
+  static constexpr size_t kProbeHistogramBuckets = 65;
+  std::vector<uint64_t> probe_histogram() const;
   void ResetProbeStats() const {
     stats_.searches.store(0, std::memory_order_relaxed);
     stats_.probes.store(0, std::memory_order_relaxed);
+    for (auto& bucket : stats_.hist) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -372,20 +407,34 @@ class IvfL2Index : public VectorIndex {
   std::vector<std::vector<IndexShard>> lists_;
   std::vector<size_t> list_counts_;
 
-  // Copyable atomic counter pair (atomics alone would delete the index's
+  // Copyable atomic counters (atomics alone would delete the index's
   // copy/move, which tests rely on); copies snapshot the counts.
   struct ProbeCounters {
     std::atomic<uint64_t> searches{0};
     std::atomic<uint64_t> probes{0};
+    std::array<std::atomic<uint64_t>, kProbeHistogramBuckets> hist{};
 
     ProbeCounters() = default;
     ProbeCounters(const ProbeCounters& other)
         : searches(other.searches.load(std::memory_order_relaxed)),
-          probes(other.probes.load(std::memory_order_relaxed)) {}
+          probes(other.probes.load(std::memory_order_relaxed)) {
+      for (size_t i = 0; i < hist.size(); ++i) {
+        hist[i].store(other.hist[i].load(std::memory_order_relaxed), std::memory_order_relaxed);
+      }
+    }
     ProbeCounters& operator=(const ProbeCounters& other) {
       searches.store(other.searches.load(std::memory_order_relaxed), std::memory_order_relaxed);
       probes.store(other.probes.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      for (size_t i = 0; i < hist.size(); ++i) {
+        hist[i].store(other.hist[i].load(std::memory_order_relaxed), std::memory_order_relaxed);
+      }
       return *this;
+    }
+    void Record(uint64_t probes_used) {
+      searches.fetch_add(1, std::memory_order_relaxed);
+      probes.fetch_add(probes_used, std::memory_order_relaxed);
+      hist[std::min<size_t>(probes_used, kProbeHistogramBuckets - 1)].fetch_add(
+          1, std::memory_order_relaxed);
     }
   };
   mutable ProbeCounters stats_;
@@ -455,6 +504,12 @@ class VectorDatabase {
   std::vector<std::vector<SearchHit>> RetrieveBatch(const std::vector<std::string>& query_texts,
                                                     size_t k,
                                                     const RetrievalQuality& quality = {}) const;
+  // Heterogeneous variant: qualities[i] applies to query_texts[i] only, so a
+  // coalesced group can carry one retrieval depth per query. results[i]
+  // matches RetrieveWithDistances(query_texts[i], k, qualities[i]).
+  std::vector<std::vector<SearchHit>> RetrieveBatch(
+      const std::vector<std::string>& query_texts, size_t k,
+      const std::vector<RetrievalQuality>& qualities) const;
 
   // Optional worker pool used by RetrieveBatch; not owned, may be null.
   void set_search_pool(ThreadPool* pool) { search_pool_ = pool; }

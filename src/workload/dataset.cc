@@ -116,7 +116,25 @@ const std::vector<DatasetProfile>& AllDatasetProfiles() {
   return kAll;
 }
 
+DatasetProfile MusiqueTopicalProfile() {
+  // Musique with the clustered embedding geometry real passage collections
+  // have: most non-fact tokens come from the chunk's topic pool, so chunks
+  // concentrate around their topics in embedding space and IVF lists align
+  // with topics. Single-lookup queries then resolve inside one or two lists
+  // while scattered-evidence multihop queries straddle several — the
+  // per-query retrieval-depth workload (bench_fig_depth, depth tests). Not
+  // part of AllDatasetProfiles(): the paper's Table-1 sweeps stay on the
+  // four stock datasets.
+  DatasetProfile p = MusiqueProfile();
+  p.name = "musique_topical";
+  p.topic_fraction = 0.85;
+  return p;
+}
+
 DatasetProfile GetDatasetProfile(const std::string& name) {
+  if (name == "musique_topical") {
+    return MusiqueTopicalProfile();
+  }
   for (const auto& p : AllDatasetProfiles()) {
     if (p.name == name) {
       return p;
@@ -425,10 +443,11 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
         ++next_fact;
         continue;
       }
-      // Topic word ~35% of the time, global filler otherwise. Filler is drawn
-      // uniformly: with sublinear-TF embeddings, a Zipf head would otherwise
-      // give every chunk a large shared component and drown the topic signal.
-      if (!pc.topic_words.empty() && textgen.Bernoulli(0.35)) {
+      // Topic word topic_fraction (default ~35%) of the time, global filler
+      // otherwise. Filler is drawn uniformly: with sublinear-TF embeddings, a
+      // Zipf head would otherwise give every chunk a large shared component
+      // and drown the topic signal.
+      if (!pc.topic_words.empty() && textgen.Bernoulli(profile_.topic_fraction)) {
         tokens.push_back(pc.topic_words[textgen.Index(pc.topic_words.size())]);
       } else {
         tokens.push_back(filler_vocab.word(textgen.Index(filler_vocab.size())));

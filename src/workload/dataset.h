@@ -77,6 +77,15 @@ struct DatasetProfile {
   double hard_negatives_per_fact = 1.0;
   int answer_tokens_per_fact = 4;
   int conclusion_tokens = 0;          // Extra answer tokens for joint queries.
+  // Fraction of non-fact chunk tokens drawn from the chunk's topic pool
+  // (entity + document words) rather than the globally shared filler vocab.
+  // Controls the corpus's embedding-space geometry: at the 0.35 default the
+  // shared filler dominates and chunk embeddings form one diffuse mass (IVF
+  // lists carry little topical meaning); raising it concentrates chunks
+  // around their topics, giving the corpus the clustered geometry real
+  // document collections have — which is what makes per-query retrieval
+  // depth matter (RAGGED: scattered-evidence queries need deeper scans).
+  double topic_fraction = 0.35;
   // Table-1 statistics.
   int min_output_tokens = 5;
   int max_output_tokens = 10;
@@ -92,6 +101,10 @@ DatasetProfile SquadProfile();
 DatasetProfile MusiqueProfile();
 DatasetProfile FinSecProfile();
 DatasetProfile QmsumProfile();
+// Musique with topically-clustered embedding geometry (high topic_fraction)
+// — the retrieval-depth workload. Resolvable by name ("musique_topical") but
+// not part of AllDatasetProfiles().
+DatasetProfile MusiqueTopicalProfile();
 const std::vector<DatasetProfile>& AllDatasetProfiles();
 DatasetProfile GetDatasetProfile(const std::string& name);
 

@@ -1,0 +1,117 @@
+// Golden-determinism replay: the full Runner stack — dataset generation,
+// embedding cache, batched+sharded retrieval, engine simulation, profiler
+// noise, scheduler decisions — must be a pure function of the RunSpec.
+// Running the same spec twice must reproduce RunMetrics bit for bit: every
+// per-query F1 and delay, the probe accounting, and the per-query probe
+// histogram. This pins the whole stack's reproducibility contract (the
+// property every parity test and bench baseline in this repo leans on) in
+// one place, across backends (flat, IVF) and with per-query retrieval depth
+// on and off.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/runner/runner.h"
+
+namespace metis {
+namespace {
+
+// `compare_retrieval_quality=false` for cross-flag comparisons: the record
+// field logs what the depth policy CHOSE (which differs by design when the
+// flag flips), while everything the quality feeds into must still match.
+void ExpectBitIdentical(const RunMetrics& a, const RunMetrics& b,
+                        bool compare_retrieval_quality = true) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    const QueryRecord& ra = a.records[i];
+    const QueryRecord& rb = b.records[i];
+    EXPECT_EQ(ra.query_id, rb.query_id) << "record " << i;
+    EXPECT_EQ(ra.config.method, rb.config.method) << "record " << i;
+    EXPECT_EQ(ra.config.num_chunks, rb.config.num_chunks) << "record " << i;
+    EXPECT_EQ(ra.config.intermediate_tokens, rb.config.intermediate_tokens) << "record " << i;
+    if (compare_retrieval_quality) {
+      EXPECT_EQ(ra.retrieval_quality.mode, rb.retrieval_quality.mode) << "record " << i;
+      EXPECT_EQ(ra.retrieval_quality.nprobe, rb.retrieval_quality.nprobe) << "record " << i;
+    }
+    // Exact double equality — bit-identical, not approximately equal.
+    EXPECT_EQ(ra.result.f1, rb.result.f1) << "record " << i;
+    EXPECT_EQ(ra.e2e_delay, rb.e2e_delay) << "record " << i;
+    EXPECT_EQ(ra.finish_time, rb.finish_time) << "record " << i;
+    EXPECT_EQ(ra.profiler_delay, rb.profiler_delay) << "record " << i;
+    EXPECT_EQ(ra.result.retrieved_chunks, rb.result.retrieved_chunks) << "record " << i;
+    EXPECT_EQ(ra.result.gold_facts_retrieved, rb.result.gold_facts_retrieved) << "record " << i;
+  }
+  EXPECT_EQ(a.delays.values(), b.delays.values());
+  EXPECT_EQ(a.f1s.values(), b.f1s.values());
+  EXPECT_EQ(a.profiler_delays.values(), b.profiler_delays.values());
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.throughput_qps, b.throughput_qps);
+  EXPECT_EQ(a.mean_probes, b.mean_probes);
+  EXPECT_EQ(a.probe_histogram, b.probe_histogram);
+  EXPECT_EQ(a.engine_cost_usd, b.engine_cost_usd);
+  EXPECT_EQ(a.profiler_cost_usd, b.profiler_cost_usd);
+}
+
+RunSpec BaseSpec(bool ivf, bool per_query_depth) {
+  RunSpec spec;
+  spec.dataset = "musique";
+  spec.num_queries = 15;
+  spec.arrival_rate = 2.0;
+  spec.system = SystemKind::kMetis;
+  spec.seed = 23;
+  spec.scheduler.per_query_depth = per_query_depth;
+  if (ivf) {
+    spec.retrieval.backend = RetrievalIndexOptions::Backend::kIvf;
+    spec.retrieval.nlist = 16;
+    spec.retrieval.nprobe = 4;
+  }
+  return spec;
+}
+
+TEST(DeterminismTest, FlatBackendReplaysBitIdentically) {
+  for (bool depth : {false, true}) {
+    RunSpec spec = BaseSpec(/*ivf=*/false, depth);
+    RunMetrics first = RunExperiment(spec);
+    RunMetrics second = RunExperiment(spec);
+    ASSERT_EQ(first.records.size(), 15u) << "per_query_depth=" << depth;
+    ExpectBitIdentical(first, second);
+  }
+}
+
+TEST(DeterminismTest, IvfBackendReplaysBitIdentically) {
+  for (bool depth : {false, true}) {
+    RunSpec spec = BaseSpec(/*ivf=*/true, depth);
+    RunMetrics first = RunExperiment(spec);
+    RunMetrics second = RunExperiment(spec);
+    ASSERT_EQ(first.records.size(), 15u) << "per_query_depth=" << depth;
+    EXPECT_GT(first.mean_probes, 0.0);
+    ExpectBitIdentical(first, second);
+  }
+}
+
+TEST(DeterminismTest, FlatBackendIgnoresPerQueryDepthBitForBit) {
+  // On the exact backend the per-query quality is threaded end to end but
+  // ignored by the index — so flipping the flag must move NOTHING. This is
+  // the "flag off == PR 3" parity on the paper's default setup.
+  RunMetrics off = RunExperiment(BaseSpec(/*ivf=*/false, /*per_query_depth=*/false));
+  RunMetrics on = RunExperiment(BaseSpec(/*ivf=*/false, /*per_query_depth=*/true));
+  ExpectBitIdentical(off, on, /*compare_retrieval_quality=*/false);
+}
+
+TEST(DeterminismTest, ShardedIvfReplayMatchesUnshardedWithPerQueryDepth) {
+  // Per-query depth composes with the PR 3 shard contract: heterogeneous
+  // budgets over a 4-shard index reproduce the single-shard run exactly.
+  RunSpec spec = BaseSpec(/*ivf=*/true, /*per_query_depth=*/true);
+  RunMetrics single = RunExperiment(spec);
+  spec.retrieval.shards = 4;
+  RunMetrics sharded = RunExperiment(spec);
+  ASSERT_EQ(single.records.size(), sharded.records.size());
+  EXPECT_EQ(single.mean_f1(), sharded.mean_f1());
+  EXPECT_EQ(single.mean_delay(), sharded.mean_delay());
+  EXPECT_EQ(single.mean_probes, sharded.mean_probes);
+  EXPECT_EQ(single.probe_histogram, sharded.probe_histogram);
+}
+
+}  // namespace
+}  // namespace metis

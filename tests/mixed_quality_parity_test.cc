@@ -1,0 +1,226 @@
+// Heterogeneous per-query RetrievalQuality parity: a coalesced batch in which
+// every query carries its OWN retrieval depth (the profiler-driven per-query
+// knob) must return ids, order, and float distances bit-equal to uncoalesced
+// per-query scans — across backends (flat, IVF), shard counts {1, 4}, and
+// thread counts {1, 4} — and the probe accounting (totals AND per-query
+// histogram) must agree exactly. This is the determinism contract that lets
+// RetrievalBatcher mix per-query budgets inside one shared sweep.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/retrieval_batcher.h"
+#include "src/sim/simulator.h"
+#include "src/vectordb/clustered_corpus.h"
+#include "src/vectordb/vectordb.h"
+
+namespace metis {
+namespace {
+
+// The quality mix a per-query-depth serving stack actually produces: fixed
+// and adaptive modes, budgets from minimal to past-nlist, index defaults.
+std::vector<RetrievalQuality> QualityMix(size_t n) {
+  std::vector<RetrievalQuality> mix;
+  for (size_t i = 0; i < n; ++i) {
+    RetrievalQuality q;
+    switch (i % 6) {
+      case 0:
+        q.mode = RetrievalQuality::ProbeMode::kFixed;
+        q.nprobe = 1;
+        break;
+      case 1:
+        q.mode = RetrievalQuality::ProbeMode::kFixed;
+        q.nprobe = 3;
+        break;
+      case 2:
+        q.mode = RetrievalQuality::ProbeMode::kAdaptive;
+        q.nprobe = 8;
+        break;
+      case 3:
+        q.mode = RetrievalQuality::ProbeMode::kIndexDefault;
+        break;
+      case 4:
+        q.mode = RetrievalQuality::ProbeMode::kAdaptive;
+        q.nprobe = 2;
+        break;
+      case 5:
+        q.mode = RetrievalQuality::ProbeMode::kFixed;
+        q.nprobe = 100;  // Past nlist: plan clamps to every list.
+        break;
+    }
+    mix.push_back(q);
+  }
+  return mix;
+}
+
+struct ProbeSnapshot {
+  uint64_t searches = 0;
+  uint64_t probes = 0;
+  std::vector<uint64_t> hist;
+};
+
+ProbeSnapshot SnapshotAndReset(const IvfL2Index& ivf) {
+  ProbeSnapshot snap{ivf.searches(), ivf.probes_issued(), ivf.probe_histogram()};
+  ivf.ResetProbeStats();
+  return snap;
+}
+
+void ExpectHitsBitEqual(const std::vector<SearchHit>& got, const std::vector<SearchHit>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t h = 0; h < got.size(); ++h) {
+    EXPECT_EQ(got[h].id, want[h].id) << label << " hit " << h;
+    // Bit equality, not approximate: memcmp through the float.
+    EXPECT_EQ(got[h].distance, want[h].distance) << label << " hit " << h;
+  }
+}
+
+TEST(MixedQualityParityTest, IvfBatchMatchesPerQueryScansAcrossShardsAndThreads) {
+  const size_t kDim = 32;
+  const size_t kClusters = 8;
+  ClusteredCorpus corpus = MakeClusteredCorpus(kDim, kClusters, /*points_per_cluster=*/60,
+                                               /*num_easy=*/18, /*num_hard=*/6, 0x9177,
+                                               /*mix_way=*/4);
+  std::vector<Embedding> queries = corpus.AllQueries();
+  std::vector<RetrievalQuality> qualities = QualityMix(queries.size());
+  const size_t kTopK = 10;
+
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    IvfL2Index ivf(kDim, /*nlist=*/kClusters, /*nprobe=*/2, /*seed=*/0x5EED, shards);
+    for (size_t i = 0; i < corpus.points.size(); ++i) {
+      ivf.Add(static_cast<ChunkId>(i), corpus.points[i]);
+    }
+    ivf.Train();
+    AdaptiveProbePolicy policy;
+    policy.enabled = false;  // Index default stays fixed; overrides force modes.
+    policy.min_probes = 1;
+    policy.distance_ratio = 1.5;
+    ivf.set_adaptive_probe(policy);
+
+    // Reference: uncoalesced per-query scans, each under its own quality.
+    ivf.ResetProbeStats();
+    std::vector<std::vector<SearchHit>> want;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      want.push_back(ivf.Search(queries[i], kTopK, qualities[i]));
+    }
+    ProbeSnapshot want_probes = SnapshotAndReset(ivf);
+
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ThreadPool pool(threads);
+      std::vector<std::vector<SearchHit>> got =
+          ivf.SearchBatch(queries, kTopK, &pool, qualities);
+      ProbeSnapshot got_probes = SnapshotAndReset(ivf);
+
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ExpectHitsBitEqual(got[i], want[i],
+                           "shards=" + std::to_string(shards) +
+                               " threads=" + std::to_string(threads) +
+                               " query=" + std::to_string(i));
+      }
+      EXPECT_EQ(got_probes.searches, want_probes.searches);
+      EXPECT_EQ(got_probes.probes, want_probes.probes);
+      EXPECT_EQ(got_probes.hist, want_probes.hist);
+    }
+  }
+}
+
+TEST(MixedQualityParityTest, FlatBatchIgnoresQualitiesAndMatchesPerQueryScans) {
+  const size_t kDim = 32;
+  ClusteredCorpus corpus = MakeClusteredCorpus(kDim, 8, 40, 12, 4, 0xF1A7, 4);
+  std::vector<Embedding> queries = corpus.AllQueries();
+  std::vector<RetrievalQuality> qualities = QualityMix(queries.size());
+  const size_t kTopK = 10;
+
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    FlatL2Index flat(kDim, shards);
+    for (size_t i = 0; i < corpus.points.size(); ++i) {
+      flat.Add(static_cast<ChunkId>(i), corpus.points[i]);
+    }
+    std::vector<std::vector<SearchHit>> want;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      want.push_back(flat.Search(queries[i], kTopK, qualities[i]));
+    }
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ThreadPool pool(threads);
+      std::vector<std::vector<SearchHit>> got =
+          flat.SearchBatch(queries, kTopK, &pool, qualities);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ExpectHitsBitEqual(got[i], want[i],
+                           "flat shards=" + std::to_string(shards) +
+                               " threads=" + std::to_string(threads) +
+                               " query=" + std::to_string(i));
+      }
+    }
+  }
+}
+
+// Serving-stack layer: a same-tick RetrievalBatcher group whose requests
+// carry different qualities (and different k) must hand every callback the
+// ids a direct per-query Retrieve at that quality returns, from ONE sweep.
+TEST(MixedQualityParityTest, BatcherCoalescesHeterogeneousQualityGroup) {
+  auto db = std::make_unique<VectorDatabase>(
+      EmbeddingModel(GetEmbeddingModel("all-mpnet-base-v2-sim")),
+      DatabaseMetadata{"mixed quality corpus", 64, "test"},
+      []() {
+        RetrievalIndexOptions o;
+        o.backend = RetrievalIndexOptions::Backend::kIvf;
+        o.nlist = 4;
+        o.nprobe = 1;
+        return o;
+      }());
+  const char* texts[] = {
+      "the kimbrough stadium sits in randall county texas",
+      "quarterly semiconductor revenue beat analyst expectations",
+      "the committee meeting adjourned after the budget vote",
+      "rainfall totals in the river basin broke the seasonal record",
+      "the stadium hosted the county championship game in randall",
+      "chip fabrication capacity expanded across three new plants",
+      "the river authority issued a flood advisory for the basin",
+      "the board approved the semiconductor capital budget",
+      "county officials repaved the stadium parking lot",
+      "the meeting minutes recorded the final budget tally",
+      "drought conditions eased after record basin rainfall",
+      "analysts raised revenue estimates for chip makers",
+  };
+  for (const char* t : texts) {
+    Chunk c;
+    c.text = t;
+    db->AddChunk(std::move(c));
+  }
+  db->FinalizeIndex();
+  ASSERT_NE(db->ivf_index(), nullptr);
+
+  std::vector<std::string> query_texts = {
+      "what county is the kimbrough stadium in",
+      "semiconductor revenue this quarter",
+      "budget vote at the committee meeting",
+      "rainfall in the river basin",
+  };
+  std::vector<RetrievalQuality> qualities = QualityMix(query_texts.size());
+  std::vector<size_t> ks = {1, 3, 2, 4};
+
+  Simulator sim;
+  RetrievalBatcher batcher(&sim, db.get(), 0.004);
+  std::vector<std::vector<ChunkId>> got(query_texts.size());
+  for (size_t i = 0; i < query_texts.size(); ++i) {
+    batcher.Submit(query_texts[i], ks[i], qualities[i],
+                   [&got, i](std::vector<ChunkId> ids) { got[i] = std::move(ids); });
+  }
+  sim.Run();
+
+  // Coalesced into one sweep, yet every request kept its own depth.
+  EXPECT_EQ(batcher.batches_issued(), 1u);
+  EXPECT_EQ(batcher.max_batch_size(), query_texts.size());
+  for (size_t i = 0; i < query_texts.size(); ++i) {
+    EXPECT_EQ(got[i], db->Retrieve(query_texts[i], ks[i], qualities[i])) << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace metis

@@ -1,11 +1,18 @@
-// Unit tests for the fixed-size worker pool behind batched retrieval.
+// Unit tests for the fixed-size worker pool behind batched retrieval, plus
+// stress coverage for the shutdown-sensitive paths: Submit() from inside a
+// running task, destruction with work still queued, and many threads hammering
+// ParallelFor on one shared pool.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -78,6 +85,140 @@ TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
     });
     EXPECT_EQ(sum.load(), 500L * 499 / 2);
   }
+}
+
+TEST(ThreadPoolStressTest, SubmitRunsEveryTaskBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 2000; ++i) {
+      pool.Submit([&ran]() { ran.fetch_add(1); });
+    }
+    // No explicit wait: the destructor must drain the queue.
+  }
+  EXPECT_EQ(ran.load(), 2000);
+}
+
+TEST(ThreadPoolStressTest, SubmitWithZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int ran = 0;
+  pool.Submit([&ran]() { ++ran; });
+  EXPECT_EQ(ran, 1);  // Synchronous: observable immediately, single-threaded.
+}
+
+TEST(ThreadPoolStressTest, SubmitFromInsideTasksChainsToCompletion) {
+  // Tasks that spawn follow-up tasks from worker context — the re-entrant
+  // Submit path. The chain must finish even when the pool is destroyed the
+  // moment the seeds are in (the destructor waits out running tasks, which
+  // keep submitting).
+  constexpr int kChains = 8;
+  constexpr int kDepth = 200;
+  std::atomic<int> ran{0};
+  {
+    // `step` outlives the pool (declared first), so tasks running during the
+    // pool's draining destructor can still call it.
+    std::function<void(int)> step;
+    ThreadPool pool(4);
+    step = [&](int remaining) {
+      ran.fetch_add(1);
+      if (remaining > 1) {
+        pool.Submit([&step, remaining]() { step(remaining - 1); });
+      }
+    };
+    for (int c = 0; c < kChains; ++c) {
+      pool.Submit([&step]() { step(kDepth); });
+    }
+  }
+  EXPECT_EQ(ran.load(), kChains * kDepth);
+}
+
+TEST(ThreadPoolStressTest, DestructionWithSlowQueuedWorkDrains) {
+  // Queue far more slow tasks than workers, then destroy immediately: the
+  // destructor must not drop queued work or deadlock.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolStressTest, HammerConstructDestructWithMixedWork) {
+  // The shutdown race window, taken many times: every iteration queues work
+  // (some of which re-submits) and immediately tears the pool down.
+  std::atomic<int> ran{0};
+  int expected = 0;
+  for (int round = 0; round < 100; ++round) {
+    ThreadPool pool(1 + round % 4);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&ran, &pool]() {
+        ran.fetch_add(1);
+        pool.Submit([&ran]() { ran.fetch_add(1); });
+      });
+    }
+    expected += 20;
+  }
+  EXPECT_EQ(ran.load(), expected);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentParallelForFromManyThreads) {
+  // Several external threads sharing one pool, each issuing barriers in a
+  // loop — the contended enqueue/notify/wait path. Every caller must see its
+  // own complete, correct result.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  constexpr size_t kN = 400;
+  std::vector<long> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c]() {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<long> sum{0};
+        pool.ParallelFor(kN, [&sum](size_t begin, size_t end) {
+          long local = 0;
+          for (size_t i = begin; i < end; ++i) {
+            local += static_cast<long>(i);
+          }
+          sum.fetch_add(local);
+        });
+        if (sum.load() != static_cast<long>(kN) * (kN - 1) / 2) {
+          sums[c] = -1;  // Corrupted barrier; fail below.
+          return;
+        }
+      }
+      sums[c] = static_cast<long>(kN) * (kN - 1) / 2;
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c], static_cast<long>(kN) * (kN - 1) / 2) << "caller " << c;
+  }
+}
+
+TEST(ThreadPoolStressTest, SubmitAndParallelForInterleave) {
+  // Fire-and-forget traffic must not break ParallelFor's barrier (both share
+  // the one task queue).
+  ThreadPool pool(3);
+  std::atomic<int> background{0};
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([&background]() { background.fetch_add(1); });
+    }
+    std::atomic<long> sum{0};
+    pool.ParallelFor(100, [&sum](size_t begin, size_t end) {
+      sum.fetch_add(static_cast<long>(end - begin));
+    });
+    EXPECT_EQ(sum.load(), 100);
+  }
+  // Destructor drains whatever background work is still queued.
 }
 
 }  // namespace

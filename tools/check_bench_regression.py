@@ -3,8 +3,9 @@
 
 Compares records (matched by "name") between a fresh bench JSON emitted by a
 bench binary (bench_retrieval -> BENCH_retrieval.json, bench_recall ->
-BENCH_recall.json; schema in docs/BENCH.md) and a baseline checked in under
-bench/baselines/. A record regresses when
+BENCH_recall.json, bench_fig_depth -> BENCH_depth.json; schema in
+docs/BENCH.md) and a baseline checked in under bench/baselines/. A record
+regresses when
 
     current.<metric> < (1 - tolerance) * baseline.<metric>
 
@@ -35,12 +36,21 @@ import shutil
 import sys
 
 
-def load_records(path):
+def load_records(path, role):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        print(f"error: {role} file not found: {path}", file=sys.stderr)
+        if role == "current":
+            print("hint: run the matching bench binary first (e.g. ./build/bench_retrieval "
+                  "writes BENCH_retrieval.json into its working directory)", file=sys.stderr)
+        else:
+            print("hint: create the baseline from a fresh run with --update "
+                  "(then commit it under bench/baselines/)", file=sys.stderr)
+        sys.exit(2)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        print(f"error: cannot read {role} file {path}: {e}", file=sys.stderr)
         sys.exit(2)
     records = doc.get("records")
     if not isinstance(records, list):
@@ -71,12 +81,17 @@ def main():
     args = parser.parse_args()
 
     if args.update:
-        shutil.copyfile(args.current, args.baseline)
+        load_records(args.current, "current")  # Validate before overwriting the baseline.
+        try:
+            shutil.copyfile(args.current, args.baseline)
+        except OSError as e:
+            print(f"error: cannot update baseline {args.baseline}: {e}", file=sys.stderr)
+            return 2
         print(f"baseline updated: {args.current} -> {args.baseline}")
         return 0
 
-    bench_cur, current = load_records(args.current)
-    bench_base, baseline = load_records(args.baseline)
+    bench_cur, current = load_records(args.current, "current")
+    bench_base, baseline = load_records(args.baseline, "baseline")
     if bench_cur != bench_base:
         print(f"warning: bench names differ (current={bench_cur!r}, baseline={bench_base!r})")
 
