@@ -1,6 +1,8 @@
 #include "src/runner/runner.h"
 
+#include <deque>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "src/common/check.h"
@@ -56,6 +58,33 @@ std::string IndexOptionsKey(const RetrievalIndexOptions& o) {
                    static_cast<unsigned long long>(o.train_seed));
 }
 
+// Mutex-guarded bounded dataset cache (benches may call runners from pool
+// threads; long bench binaries sweep many corpora). Eviction is
+// oldest-insertion-first; evicted datasets stay alive for whoever still holds
+// their shared_ptr.
+struct DatasetCache {
+  using Key = std::tuple<std::string, int, std::string, uint64_t, std::string>;
+  std::mutex mu;
+  std::map<Key, std::shared_ptr<const Dataset>> entries;
+  std::deque<Key> insertion_order;
+};
+
+DatasetCache& TheDatasetCache() {
+  static DatasetCache* cache = new DatasetCache;  // Leaked: process-lifetime.
+  return *cache;
+}
+
+// The one generation recipe behind both the cache and the private-instance
+// path in RunMixedExperiment: the duplicate-dataset fix there relies on a
+// fresh instance being deterministically identical to the cached one, so the
+// recipe must live in exactly one place.
+std::shared_ptr<const Dataset> GenerateDatasetUncached(
+    const std::string& dataset_name, int num_queries, const std::string& embedding_model,
+    uint64_t seed, const RetrievalIndexOptions& index_options) {
+  DatasetGenerator generator(GetDatasetProfile(dataset_name), seed);
+  return generator.Generate(num_queries, embedding_model, index_options);
+}
+
 }  // namespace
 
 std::shared_ptr<const Dataset> GetOrGenerateDataset(const std::string& dataset_name,
@@ -63,18 +92,40 @@ std::shared_ptr<const Dataset> GetOrGenerateDataset(const std::string& dataset_n
                                                     const std::string& embedding_model,
                                                     uint64_t seed,
                                                     const RetrievalIndexOptions& index_options) {
-  using Key = std::tuple<std::string, int, std::string, uint64_t, std::string>;
-  static std::map<Key, std::shared_ptr<const Dataset>> cache;
-  Key key{dataset_name, num_queries, embedding_model, seed, IndexOptionsKey(index_options)};
-  auto it = cache.find(key);
-  if (it != cache.end()) {
+  DatasetCache& cache = TheDatasetCache();
+  DatasetCache::Key key{dataset_name, num_queries, embedding_model, seed,
+                        IndexOptionsKey(index_options)};
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      return it->second;
+    }
+  }
+  // Generate outside the lock: generation is seconds-long, and concurrent
+  // misses on distinct keys must not serialize. Two racing misses on the SAME
+  // key both generate (deterministically identical) datasets; the first
+  // insert wins and the loser adopts it.
+  std::shared_ptr<const Dataset> ds =
+      GenerateDatasetUncached(dataset_name, num_queries, embedding_model, seed, index_options);
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto [it, inserted] = cache.entries.emplace(key, ds);
+  if (!inserted) {
     return it->second;
   }
-  DatasetGenerator generator(GetDatasetProfile(dataset_name), seed);
-  std::shared_ptr<const Dataset> ds =
-      generator.Generate(num_queries, embedding_model, index_options);
-  cache[key] = ds;
+  cache.insertion_order.push_back(key);
+  while (cache.entries.size() > kDatasetCacheMaxEntries && !cache.insertion_order.empty()) {
+    cache.entries.erase(cache.insertion_order.front());
+    cache.insertion_order.pop_front();
+  }
   return ds;
+}
+
+void ClearDatasetCache() {
+  DatasetCache& cache = TheDatasetCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.entries.clear();
+  cache.insertion_order.clear();
 }
 
 std::vector<RagConfig> FixedConfigMenu(const DatasetProfile& profile) {
@@ -125,6 +176,24 @@ struct Stack {
 
 }  // namespace
 
+JointSchedulerOptions EffectiveSchedulerOptions(const MixedRunSpec& spec, size_t d,
+                                                const Dataset& dataset) {
+  JointSchedulerOptions options = spec.scheduler;
+  if (!spec.per_dataset_depth) {
+    return options;  // Ablation off: the shared curve, bit-for-bit.
+  }
+  if (d < spec.per_dataset_scheduler.size() && spec.per_dataset_scheduler[d].has_value()) {
+    return *spec.per_dataset_scheduler[d];
+  }
+  DepthCalibrator calibrator(spec.calibrator);
+  const IvfL2Index* ivf = dataset.db().ivf_index();
+  options.depth = spec.depth_calibration == MixedRunSpec::DepthCalibration::kOffline
+                      ? calibrator.Calibrate(dataset)
+                      : calibrator.DeriveFromProfile(dataset.profile(),
+                                                     ivf != nullptr ? ivf->nlist() : 0);
+  return options;
+}
+
 std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
   METIS_CHECK(!spec.datasets.empty());
   METIS_CHECK(!spec.fixed_configs.empty());
@@ -146,15 +215,27 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
   BehaviorModel behavior(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
 
   std::vector<DatasetStack> stacks(spec.datasets.size());
+  std::vector<JointSchedulerOptions> stack_options(spec.datasets.size());
+  std::map<std::string, size_t> name_count;
   for (size_t d = 0; d < spec.datasets.size(); ++d) {
     DatasetStack& ds = stacks[d];
-    ds.dataset = GetOrGenerateDataset(spec.datasets[d], spec.queries_per_dataset,
-                                      spec.embedding_model, spec.seed, spec.retrieval);
-    if (ds.dataset->db().ivf_index() != nullptr) {
-      ds.dataset->db().ivf_index()->ResetProbeStats();
+    if (name_count[spec.datasets[d]]++ == 0) {
+      ds.dataset = GetOrGenerateDataset(spec.datasets[d], spec.queries_per_dataset,
+                                        spec.embedding_model, spec.seed, spec.retrieval);
+    } else {
+      // Repeated dataset name: the cache would hand every occurrence the SAME
+      // Dataset (and index), commingling per-stack probe accounting. Give
+      // repeats a private instance — generation is deterministic, so contents
+      // (and therefore results) are identical to the cached one.
+      ds.dataset = GenerateDatasetUncached(spec.datasets[d], spec.queries_per_dataset,
+                                           spec.embedding_model, spec.seed, spec.retrieval);
     }
-    RetrievalQuality retrieval_quality = RetrievalQualityFromOptions(spec.scheduler);
-    if (spec.scheduler.coalesce_retrieval) {
+    // May probe the stack's index (offline calibration); probe stats are
+    // reset below, after every stack is built.
+    stack_options[d] = EffectiveSchedulerOptions(spec, d, *ds.dataset);
+    const JointSchedulerOptions& scheduler_options = stack_options[d];
+    RetrievalQuality retrieval_quality = RetrievalQualityFromOptions(scheduler_options);
+    if (scheduler_options.coalesce_retrieval) {
       ds.batcher = std::make_unique<RetrievalBatcher>(&sim, &ds.dataset->db(),
                                                       SynthesisExecutor::kRetrievalSeconds,
                                                       retrieval_quality);
@@ -177,7 +258,7 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
                                                     &ds.dataset->db().metadata(), pparams,
                                                     spec.seed ^ (0x9867ull + d));
       ds.scheduler = std::make_unique<JointScheduler>(&engine, ds.executor.get(), 10,
-                                                      spec.scheduler);
+                                                      scheduler_options);
     }
     switch (spec.system) {
       case SystemKind::kVllmFixed:
@@ -206,14 +287,27 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     }
   }
 
+  // Every stack owns a distinct Dataset instance (repeats get private
+  // copies), so this zeroes each index's probe counters exactly once, after
+  // offline calibration probed them and before any serving traffic —
+  // per-stack mean_probes/probe_histogram then report that stack's traffic
+  // only.
+  for (DatasetStack& ds : stacks) {
+    if (ds.dataset->db().ivf_index() != nullptr) {
+      ds.dataset->db().ivf_index()->ResetProbeStats();
+    }
+  }
+
   // Independent Poisson arrivals per dataset, all on the shared engine.
-  SimTime first_arrival = -1;
+  // Throughput windows are per dataset: each stack's clock starts at its OWN
+  // first arrival, not the earliest arrival across the whole mix.
+  std::vector<SimTime> first_arrival(spec.datasets.size(), -1);
   for (size_t d = 0; d < spec.datasets.size(); ++d) {
     std::vector<RagQuery> queries = stacks[d].dataset->queries();
     AssignPoissonArrivals(queries, spec.rate_per_dataset, spec.seed ^ (0xD00Dull + d));
     for (const RagQuery& q : queries) {
-      if (first_arrival < 0 || q.arrival_time < first_arrival) {
-        first_arrival = q.arrival_time;
+      if (first_arrival[d] < 0 || q.arrival_time < first_arrival[d]) {
+        first_arrival[d] = q.arrival_time;
       }
       sim.ScheduleAt(q.arrival_time, [sys = stacks[d].system.get(), q]() { sys->Accept(q); });
     }
@@ -232,7 +326,26 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     DatasetStack& ds = stacks[d];
     RunMetrics metrics;
     metrics.label = StrFormat("%s/%s", SystemKindName(spec.system), spec.datasets[d].c_str());
-    SimTime last_finish = first_arrival;
+    // The single-dataset RunSpec this stack is equivalent to, so downstream
+    // tooling sees the same RunMetrics contract RunExperiment fills
+    // (metrics.spec.scheduler carries the stack's RESOLVED options, i.e. the
+    // calibrated per-dataset depth line when per_dataset_depth engaged one).
+    metrics.spec.dataset = spec.datasets[d];
+    metrics.spec.num_queries = spec.queries_per_dataset;
+    metrics.spec.arrival_rate = spec.rate_per_dataset;
+    metrics.spec.serving_model = spec.serving_model;
+    metrics.spec.kv_pool_gib = spec.kv_pool_gib;
+    metrics.spec.max_batched_tokens = spec.max_batched_tokens;
+    metrics.spec.embedding_model = spec.embedding_model;
+    metrics.spec.profiler_model = spec.profiler_model;
+    metrics.spec.system = spec.system;
+    metrics.spec.fixed_config = spec.fixed_configs[std::min(d, spec.fixed_configs.size() - 1)];
+    metrics.spec.metis = spec.metis;
+    metrics.spec.scheduler = stack_options[d];
+    metrics.spec.retrieval = spec.retrieval;
+    metrics.spec.override_prefix_sharing = spec.override_prefix_sharing;
+    metrics.spec.seed = spec.seed;
+    SimTime last_finish = first_arrival[d];
     double ds_tokens = 0;
     for (const QueryRecord& rec : ds.records) {
       metrics.delays.Add(rec.e2e_delay);
@@ -246,7 +359,7 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
       last_finish = std::max(last_finish, rec.finish_time);
       ds_tokens += rec.result.total_prompt_tokens + rec.result.total_output_tokens;
     }
-    metrics.sim_duration = std::max(1e-9, last_finish - first_arrival);
+    metrics.sim_duration = std::max(1e-9, last_finish - first_arrival[d]);
     metrics.throughput_qps = static_cast<double>(ds.records.size()) / metrics.sim_duration;
     metrics.engine_stats = engine.stats();
     if (ds.dataset->db().ivf_index() != nullptr) {

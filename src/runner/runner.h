@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/core/depth_calibrator.h"
 #include "src/core/systems.h"
 #include "src/llm/behavior.h"
 #include "src/llm/engine.h"
@@ -120,8 +121,39 @@ struct MixedRunSpec {
   RetrievalIndexOptions retrieval;  // Shared by every dataset's database.
   std::optional<bool> override_prefix_sharing;
 
+  // --- Per-dataset retrieval-depth policies ---
+  // The per-piece F1-vs-budget curves differ per dataset profile (RAGGED), so
+  // the mixed path can give every dataset stack its OWN
+  // RetrievalDepthPolicyOptions budget line instead of the one
+  // `scheduler.depth` line above. Ablation flag: false (default) applies
+  // `scheduler` unchanged to every stack — the shared-curve behaviour,
+  // bit-for-bit (every field below is ignored then; parity-tested).
+  bool per_dataset_depth = false;
+  // How a stack with no explicit override below derives its line:
+  //   kProfile — closed-form from the DatasetProfile (DeriveFromProfile);
+  //   kOffline — probe-grid calibration on a held-out query slice
+  //              (DepthCalibrator::Calibrate), mirroring METIS's offline
+  //              config-space pruning.
+  enum class DepthCalibration { kProfile, kOffline };
+  DepthCalibration depth_calibration = DepthCalibration::kProfile;
+  DepthCalibratorOptions calibrator;  // Grid/holdout/tolerance for both modes.
+  // Full per-stack scheduler overrides, aligned with `datasets`; entry d (when
+  // present and engaged by per_dataset_depth) replaces `scheduler` for
+  // datasets[d]'s whole stack. Missing/nullopt entries fall back to the
+  // calibrated line above.
+  std::vector<std::optional<JointSchedulerOptions>> per_dataset_scheduler;
+
   uint64_t seed = 42;
 };
+
+// The scheduler options RunMixedExperiment builds datasets[d]'s stack with:
+// `spec.scheduler` verbatim unless per_dataset_depth engages an override or a
+// calibrated depth line (see MixedRunSpec). Exposed so benches/tests can see
+// the per-stack budget lines a spec resolves to without running the
+// experiment. `dataset` must be the generated dataset the stack would serve
+// (its profile and index feed the calibrator).
+JointSchedulerOptions EffectiveSchedulerOptions(const MixedRunSpec& spec, size_t d,
+                                                const Dataset& dataset);
 
 // Returns one RunMetrics per dataset (order matches spec.datasets). Engine
 // stats are global; engine cost is attributed by processed-token share.
@@ -129,12 +161,29 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec);
 
 // Shared dataset cache: generation is deterministic per (profile, seed,
 // embedder, num_queries, index options), so benches sweeping configs reuse
-// the corpus. Distinct retrieval backends key distinct cache entries.
+// the corpus. Distinct retrieval backends key distinct cache entries. The
+// cache is mutex-guarded (safe to call from pool threads) and bounded: past
+// kDatasetCacheMaxEntries the oldest entries are evicted (outstanding
+// shared_ptrs keep evicted datasets alive).
+//
+// Probe-accounting contract: IVF probe counters live on the (shared) index,
+// and each run resets them at start-of-traffic, so RunMetrics::mean_probes /
+// probe_histogram are exact for SEQUENTIAL runs — today's only usage.
+// CONCURRENT runs that resolve to the same cache entry would commingle (and
+// mutually reset) one counter set; callers wanting parallel runs with probe
+// stats must use distinct specs (or per-run private datasets, as
+// RunMixedExperiment does for repeated dataset names).
+inline constexpr size_t kDatasetCacheMaxEntries = 32;
 std::shared_ptr<const Dataset> GetOrGenerateDataset(const std::string& dataset_name,
                                                     int num_queries,
                                                     const std::string& embedding_model,
                                                     uint64_t seed,
                                                     const RetrievalIndexOptions& index_options = {});
+
+// Drops every cached dataset (long bench binaries sweeping many corpora can
+// release the memory between phases). Datasets still referenced elsewhere
+// stay alive through their shared_ptrs.
+void ClearDatasetCache();
 
 // Runs a single query in isolation (idle engine, no queueing) and returns the
 // result — the probe the Fig. 4 / Fig. 5 per-knob sweeps use.

@@ -132,8 +132,18 @@ DatasetProfile MusiqueTopicalProfile() {
 }
 
 DatasetProfile GetDatasetProfile(const std::string& name) {
-  if (name == "musique_topical") {
-    return MusiqueTopicalProfile();
+  // Generic "<dataset>_topical": the base profile with the clustered
+  // embedding geometry (topic_fraction as in MusiqueTopicalProfile, which
+  // this branch reproduces for "musique_topical"). Gives every evaluation
+  // dataset a retrieval-depth-sensitive variant — the mixed
+  // per-dataset-depth experiments (bench_fig_mixed_depth) run on these.
+  const std::string suffix = "_topical";
+  if (name.size() > suffix.size() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    DatasetProfile p = GetDatasetProfile(name.substr(0, name.size() - suffix.size()));
+    p.name = name;
+    p.topic_fraction = 0.85;
+    return p;
   }
   for (const auto& p : AllDatasetProfiles()) {
     if (p.name == name) {

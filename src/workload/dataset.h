@@ -106,6 +106,10 @@ DatasetProfile QmsumProfile();
 // not part of AllDatasetProfiles().
 DatasetProfile MusiqueTopicalProfile();
 const std::vector<DatasetProfile>& AllDatasetProfiles();
+// Resolves a profile by name. Besides the stock names, any "<dataset>_topical"
+// resolves to the base profile with the clustered embedding geometry
+// (topic_fraction = 0.85, as MusiqueTopicalProfile) — the
+// retrieval-depth-sensitive variants the mixed depth experiments run on.
 DatasetProfile GetDatasetProfile(const std::string& name);
 
 // A generated dataset: retrieval DB + queries + fact registry.

@@ -3,9 +3,9 @@
 
 Compares records (matched by "name") between a fresh bench JSON emitted by a
 bench binary (bench_retrieval -> BENCH_retrieval.json, bench_recall ->
-BENCH_recall.json, bench_fig_depth -> BENCH_depth.json; schema in
-docs/BENCH.md) and a baseline checked in under bench/baselines/. A record
-regresses when
+BENCH_recall.json, bench_fig_depth -> BENCH_depth.json, bench_fig_mixed_depth
+-> BENCH_mixed_depth.json; schema in docs/BENCH.md) and a baseline checked in
+under bench/baselines/. A record regresses when
 
     current.<metric> < (1 - tolerance) * baseline.<metric>
 
@@ -32,6 +32,7 @@ Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error.
 
 import argparse
 import json
+import os
 import shutil
 import sys
 
@@ -83,6 +84,9 @@ def main():
     if args.update:
         load_records(args.current, "current")  # Validate before overwriting the baseline.
         try:
+            baseline_dir = os.path.dirname(args.baseline)
+            if baseline_dir:
+                os.makedirs(baseline_dir, exist_ok=True)
             shutil.copyfile(args.current, args.baseline)
         except OSError as e:
             print(f"error: cannot update baseline {args.baseline}: {e}", file=sys.stderr)
