@@ -137,7 +137,9 @@ int main() {
     rec.metrics = {{"budget", row.budget_axis},
                    {"mean_f1", row.metrics.mean_f1()},
                    {"mean_delay_s", row.metrics.mean_delay()},
+                   {"p50_delay_s", row.metrics.p50_delay()},
                    {"p90_delay_s", row.metrics.p90_delay()},
+                   {"p99_delay_s", row.metrics.p99_delay()},
                    {"mean_probes", row.metrics.mean_probes},
                    {"throughput_qps", row.metrics.throughput_qps}};
     records.push_back(std::move(rec));

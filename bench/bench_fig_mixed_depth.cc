@@ -149,7 +149,9 @@ int main() {
       rec.tags = {{"arm", arm.name}, {"dataset", kDatasets[d]}};
       rec.metrics = {{"mean_f1", m.mean_f1()},
                      {"mean_delay_s", m.mean_delay()},
+                     {"p50_delay_s", m.p50_delay()},
                      {"p90_delay_s", m.p90_delay()},
+                     {"p99_delay_s", m.p99_delay()},
                      {"mean_probes", m.mean_probes},
                      {"throughput_qps", m.throughput_qps},
                      {"depth_base", static_cast<double>(m.spec.scheduler.depth.base_probes)},

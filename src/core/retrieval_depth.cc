@@ -32,4 +32,21 @@ RetrievalQuality RetrievalDepthPolicy::QualityFor(const QueryProfile& profile) c
   return quality;
 }
 
+RetrievalQuality RetrievalDepthPolicy::ClampToBudget(RetrievalQuality quality,
+                                                     size_t budget_cap) {
+  if (budget_cap == 0) {
+    return quality;
+  }
+  size_t cap = std::max<size_t>(budget_cap, 1);
+  if (quality.mode == RetrievalQuality::ProbeMode::kIndexDefault || quality.nprobe == 0) {
+    // The index's own default depth is not visible here; shed to exactly the
+    // cap (fixed mode) so the clamp is a hard ceiling, not a suggestion.
+    quality.mode = RetrievalQuality::ProbeMode::kFixed;
+    quality.nprobe = cap;
+    return quality;
+  }
+  quality.nprobe = std::min(quality.nprobe, cap);
+  return quality;
+}
+
 }  // namespace metis

@@ -79,6 +79,14 @@ class RetrievalDepthPolicy {
   // it, so the policy is behaviour-neutral for the paper's default setup.
   RetrievalQuality QualityFor(const QueryProfile& profile) const;
 
+  // Overload-ladder support: `quality` with its probe budget clamped to at
+  // most `budget_cap` (floored at 1 probe; kIndexDefault resolves to a
+  // concrete fixed budget first so the cap is enforceable). The depth rung of
+  // the degradation ladder applies this to every decision — including the §5
+  // low-confidence full-budget fallback, which must not over-retrieve while
+  // the engine is drowning. No-op when budget_cap == 0.
+  static RetrievalQuality ClampToBudget(RetrievalQuality quality, size_t budget_cap);
+
   const RetrievalDepthPolicyOptions& options() const { return options_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/core/retrieval_depth.h"
 #include "src/text/tokenizer.h"
 
 namespace metis {
@@ -78,14 +79,15 @@ void AdaptiveRagSystem::Accept(const RagQuery& query) {
 
 MetisSystem::MetisSystem(Simulator* sim, SynthesisExecutor* executor, QueryProfiler* profiler,
                          JointScheduler* scheduler, const Dataset* dataset, Options options,
-                         RecordSink sink)
+                         RecordSink sink, OverloadController* overload)
     : sim_(sim),
       executor_(executor),
       profiler_(profiler),
       scheduler_(scheduler),
       dataset_(dataset),
       options_(options),
-      sink_(std::move(sink)) {
+      sink_(std::move(sink)),
+      overload_(overload) {
   METIS_CHECK(sim != nullptr);
   METIS_CHECK(executor != nullptr);
   METIS_CHECK(profiler != nullptr);
@@ -142,6 +144,23 @@ void MetisSystem::MaybeRunGoldenFeedback(const RagQuery& query) {
 void MetisSystem::Accept(const RagQuery& query) {
   ++accepted_;
   SimTime arrival = sim_->now();
+
+  // Overload admission (ladder rung 3) happens at arrival, before any
+  // profiler work is spent on a query that will be shed. Rejected queries
+  // still produce a QueryRecord — no query is ever silently lost — with an
+  // empty result and e2e_delay 0 (a rejection is instantaneous).
+  if (overload_ != nullptr) {
+    OverloadLevel level = overload_->Assess();
+    if (!overload_->Admit(query.tenant, level)) {
+      QueryRecord rec = MakeRecord("metis", query, RagConfig{}, arrival, arrival, RagResult{});
+      rec.tenant = query.tenant;
+      rec.rejected = true;
+      rec.overload_level = static_cast<int>(level);
+      sink_(std::move(rec));
+      return;
+    }
+  }
+
   MaybeRunGoldenFeedback(query);
 
   profiler_->ProfileAsync(query, [this, query, arrival](QueryProfiler::Outcome outcome) {
@@ -172,9 +191,45 @@ void MetisSystem::Accept(const RagQuery& query) {
       decision.retrieval = scheduler_->RetrievalQualityFor(outcome.profile);
     }
 
+    // Degradation rungs 1/2 re-assess at the decision point: pressure may
+    // have changed during the profiling delay, and this is where the
+    // configuration and retrieval depth are actually committed.
+    OverloadLevel decision_level = OverloadLevel::kNone;
+    bool depth_shed = false;
+    bool synthesis_degraded = false;
+    if (overload_ != nullptr) {
+      overload_->ObserveConfidence(outcome.profile.confidence);
+      decision_level = overload_->Assess();
+      if (decision_level >= OverloadLevel::kCheapSynthesis) {
+        const RagConfig& cheap = overload_->options().cheap_config;
+        RagConfig degraded = cheap;
+        // Degradation only ever reduces work relative to the scheduler's
+        // own pick.
+        degraded.num_chunks = std::min(cheap.num_chunks, decision.config.num_chunks);
+        degraded.intermediate_tokens =
+            std::min(cheap.intermediate_tokens, decision.config.intermediate_tokens);
+        if (!(degraded == decision.config)) {
+          decision.config = degraded;
+          synthesis_degraded = true;
+          overload_->NoteSynthesisDegraded();
+        }
+      }
+      if (decision_level >= OverloadLevel::kShedDepth &&
+          overload_->options().shed_probe_budget > 0) {
+        RetrievalQuality clamped = RetrievalDepthPolicy::ClampToBudget(
+            decision.retrieval, overload_->options().shed_probe_budget);
+        if (clamped.mode != decision.retrieval.mode ||
+            clamped.nprobe != decision.retrieval.nprobe) {
+          decision.retrieval = clamped;
+          depth_shed = true;
+          overload_->NoteDepthShed();
+        }
+      }
+    }
+
     executor_->Execute(query, decision.config, decision.retrieval,
-                       [this, query, arrival, outcome, decision,
-                        low_confidence](RagResult result) {
+                       [this, query, arrival, outcome, decision, low_confidence,
+                        decision_level, depth_shed, synthesis_degraded](RagResult result) {
       QueryRecord rec = MakeRecord("metis", query, decision.config, arrival, sim_->now(),
                                    std::move(result));
       rec.retrieval_quality = decision.retrieval;
@@ -183,6 +238,10 @@ void MetisSystem::Accept(const RagQuery& query) {
       rec.profiler_delay = outcome.delay_seconds;
       rec.low_confidence_fallback = low_confidence;
       rec.scheduler_fallback = decision.used_fallback;
+      rec.tenant = query.tenant;
+      rec.overload_level = static_cast<int>(decision_level);
+      rec.depth_shed = depth_shed;
+      rec.synthesis_degraded = synthesis_degraded;
       sink_(std::move(rec));
     });
   });

@@ -26,6 +26,7 @@
 
 #include "src/core/joint_scheduler.h"
 #include "src/core/mapping.h"
+#include "src/core/overload.h"
 #include "src/profiler/profiler.h"
 #include "src/synthesis/synthesis.h"
 
@@ -49,6 +50,13 @@ struct QueryRecord {
   SimTime finish_time = 0;
   double e2e_delay = 0;  // finish - arrival; includes profiling + queueing.
   RagResult result;
+
+  // --- Multi-tenant overload control (src/core/overload.h) ---
+  int tenant = 0;              // Tenant-class index (RunSpec::tenants); 0 default.
+  bool rejected = false;       // Shed by admission control; result is empty.
+  int overload_level = 0;      // Ladder rung at this query's decision point.
+  bool depth_shed = false;     // Rung 1 applied: retrieval budget clamped.
+  bool synthesis_degraded = false;  // Rung 2 applied: cheap synthesis config.
 };
 
 using RecordSink = std::function<void(QueryRecord)>;
@@ -120,9 +128,14 @@ class MetisSystem : public ServingSystem {
     int output_token_estimate = 48;
   };
 
+  // `overload` (optional, not owned): the overload controller driving the
+  // degradation ladder on this system's Accept path. Null (the default, and
+  // whenever OverloadOptions::enabled is false) keeps Accept bit-for-bit
+  // identical to the ladderless behaviour — no signal reads, no extra
+  // branches taken.
   MetisSystem(Simulator* sim, SynthesisExecutor* executor, QueryProfiler* profiler,
               JointScheduler* scheduler, const Dataset* dataset, Options options,
-              RecordSink sink);
+              RecordSink sink, OverloadController* overload = nullptr);
 
   void Accept(const RagQuery& query) override;
   const char* name() const override { return "metis"; }
@@ -140,6 +153,7 @@ class MetisSystem : public ServingSystem {
   const Dataset* dataset_;
   Options options_;
   RecordSink sink_;
+  OverloadController* overload_ = nullptr;
 
   std::deque<PrunedConfigSpace> recent_spaces_;
   uint64_t accepted_ = 0;

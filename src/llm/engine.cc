@@ -21,6 +21,16 @@ double LlmEngine::BytesNeededFor(int prompt_tokens, int output_tokens) const {
          config_.admit_buffer_frac * kv_.total_bytes();
 }
 
+double LlmEngine::oldest_waiting_age() const {
+  // The queue is submit-ordered (push_back in Submit; group-aware admission
+  // may remove from the middle but never reorders), so the front is the
+  // earliest-submitted request still waiting.
+  if (waiting_.empty()) {
+    return 0;
+  }
+  return sim_->now() - waiting_.front()->timing.submit_time;
+}
+
 double LlmEngine::projected_free_kv_bytes() const {
   double claimed = 0;
   for (const auto& rq : waiting_) {
@@ -47,6 +57,8 @@ uint64_t LlmEngine::Submit(InferenceRequest request) {
   uint64_t id = rq->id;
   waiting_.push_back(std::move(rq));
   ++stats_.submitted;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth,
+                                     static_cast<uint64_t>(waiting_.size()));
   Kick();
   return id;
 }
@@ -120,6 +132,7 @@ bool LlmEngine::PrefillBacklogFull() const {
 
 void LlmEngine::PlanStep() {
   METIS_CHECK(!step_in_flight_);
+  stats_.peak_queue_age_s = std::max(stats_.peak_queue_age_s, oldest_waiting_age());
 
   // --- Admission ---
   bool progressed = true;

@@ -83,6 +83,10 @@ struct EngineStats {
   int64_t prefill_tokens_saved = 0; // Tokens skipped via shared prefixes.
   int64_t decode_tokens = 0;
   double peak_kv_bytes = 0;
+  // Backlog observables (overload control): high-water marks of the arrival
+  // queue and the oldest wait it ever imposed. Monotone over a run.
+  uint64_t peak_queue_depth = 0;
+  double peak_queue_age_s = 0;
 };
 
 class LlmEngine {
@@ -107,6 +111,11 @@ class LlmEngine {
   double total_kv_bytes() const { return kv_.total_bytes(); }
   size_t queue_depth() const { return waiting_.size(); }
   size_t running_count() const { return running_.size(); }
+  // Age (s) of the oldest request still waiting for admission; 0 when the
+  // queue is empty. The queue-age signal the overload controller watches:
+  // queue_depth says how MANY requests wait, this says how LONG the
+  // head-of-line has waited — the leading indicator of deadline misses.
+  double oldest_waiting_age() const;
 
   const EngineStats& stats() const { return stats_; }
   const EngineConfig& config() const { return config_; }

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
 #include "src/common/strings.h"
 #include "src/core/retrieval_batcher.h"
 
@@ -171,8 +172,106 @@ struct Stack {
   std::unique_ptr<ApiLlmClient> profiler_api;
   std::unique_ptr<QueryProfiler> profiler;
   std::unique_ptr<JointScheduler> scheduler;
+  std::unique_ptr<OverloadController> overload;
   std::unique_ptr<ServingSystem> system;
 };
+
+// Routes each query to an SLO class with probability proportional to
+// rate_share, on its own Rng stream so arrival times are untouched. Empty
+// `tenants` leaves every query in the implicit default class (tenant 0) and
+// draws nothing — bit-for-bit parity with the pre-tenant runner.
+void AssignTenants(std::vector<RagQuery>& queries, const std::vector<TenantClass>& tenants,
+                   uint64_t seed) {
+  if (tenants.empty()) {
+    return;
+  }
+  std::vector<double> cumulative;
+  double total = 0;
+  for (const TenantClass& t : tenants) {
+    total += std::max(0.0, t.rate_share);
+    cumulative.push_back(total);
+  }
+  Rng rng(seed ^ 0x7E4A47ull);
+  for (RagQuery& q : queries) {
+    if (total <= 0) {
+      q.tenant = 0;
+      continue;
+    }
+    double u = rng.NextDouble() * total;
+    size_t idx = std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+                 cumulative.begin();
+    q.tenant = static_cast<int>(std::min(idx, tenants.size() - 1));
+  }
+}
+
+// Shared aggregation over a run's records: overall + per-class Samples,
+// duration window, throughput (completions only), goodput (in-deadline
+// completions), and rejection accounting. With overload control off there
+// are no rejected records and no deadlines, so throughput == goodput and
+// every value matches the historical aggregation bit-for-bit.
+void AggregateRecords(RunMetrics& metrics, const std::vector<TenantClass>& tenants,
+                      SimTime first_arrival) {
+  metrics.class_metrics.clear();
+  if (tenants.empty()) {
+    metrics.class_metrics.emplace_back();  // Implicit "default" class.
+  } else {
+    for (const TenantClass& t : tenants) {
+      TenantClassMetrics cm;
+      cm.name = t.name;
+      cm.priority = t.priority;
+      cm.deadline_s = t.deadline_s;
+      metrics.class_metrics.push_back(std::move(cm));
+    }
+  }
+  SimTime last_finish = first_arrival;
+  uint64_t good_total = 0;
+  std::vector<uint64_t> good_per_class(metrics.class_metrics.size(), 0);
+  for (const QueryRecord& rec : metrics.records) {
+    size_t c = rec.tenant >= 0 &&
+                       static_cast<size_t>(rec.tenant) < metrics.class_metrics.size()
+                   ? static_cast<size_t>(rec.tenant)
+                   : 0;
+    TenantClassMetrics& cm = metrics.class_metrics[c];
+    ++cm.offered;
+    if (rec.rejected) {
+      ++cm.rejected;
+      ++metrics.rejected_queries;
+      continue;
+    }
+    ++cm.completed;
+    cm.delays.Add(rec.e2e_delay);
+    if (cm.deadline_s > 0 && rec.e2e_delay > cm.deadline_s) {
+      ++cm.missed_deadline;
+    } else {
+      ++good_total;
+      ++good_per_class[c];
+    }
+    if (rec.depth_shed) {
+      ++cm.depth_shed;
+    }
+    if (rec.synthesis_degraded) {
+      ++cm.synthesis_degraded;
+    }
+    metrics.delays.Add(rec.e2e_delay);
+    metrics.f1s.Add(rec.result.f1);
+    if (rec.profiler_delay > 0) {
+      metrics.profiler_delays.Add(rec.profiler_delay);
+      if (rec.e2e_delay > 0) {
+        metrics.profiler_fracs.Add(rec.profiler_delay / rec.e2e_delay);
+      }
+    }
+    last_finish = std::max(last_finish, rec.finish_time);
+  }
+  metrics.sim_duration = std::max(1e-9, last_finish - first_arrival);
+  uint64_t completed_total = 0;
+  for (size_t c = 0; c < metrics.class_metrics.size(); ++c) {
+    TenantClassMetrics& cm = metrics.class_metrics[c];
+    completed_total += cm.completed;
+    cm.goodput_qps = static_cast<double>(good_per_class[c]) / metrics.sim_duration;
+  }
+  metrics.throughput_qps = static_cast<double>(completed_total) / metrics.sim_duration;
+  metrics.goodput_qps = static_cast<double>(good_total) / metrics.sim_duration;
+}
 
 }  // namespace
 
@@ -213,6 +312,13 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
   ecfg.policy = batching ? AdmissionPolicy::kGroupAware : AdmissionPolicy::kFcfs;
   LlmEngine engine(&sim, ecfg, spec.seed);
   BehaviorModel behavior(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
+
+  // One controller for the shared engine: every METIS stack feeds it, so the
+  // ladder reacts to the aggregate backlog across the whole mix.
+  std::unique_ptr<OverloadController> overload;
+  if (spec.overload.enabled && spec.system == SystemKind::kMetis) {
+    overload = std::make_unique<OverloadController>(&engine, spec.tenants, spec.overload);
+  }
 
   std::vector<DatasetStack> stacks(spec.datasets.size());
   std::vector<JointSchedulerOptions> stack_options(spec.datasets.size());
@@ -281,7 +387,7 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
         opts.output_token_estimate = ds.dataset->profile().max_output_tokens;
         ds.system = std::make_unique<MetisSystem>(&sim, ds.executor.get(), ds.profiler.get(),
                                                   ds.scheduler.get(), ds.dataset.get(), opts,
-                                                  sink);
+                                                  sink, overload.get());
         break;
       }
     }
@@ -298,13 +404,20 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     }
   }
 
-  // Independent Poisson arrivals per dataset, all on the shared engine.
+  // Independent arrival streams per dataset, all on the shared engine.
   // Throughput windows are per dataset: each stack's clock starts at its OWN
   // first arrival, not the earliest arrival across the whole mix.
   std::vector<SimTime> first_arrival(spec.datasets.size(), -1);
   for (size_t d = 0; d < spec.datasets.size(); ++d) {
     std::vector<RagQuery> queries = stacks[d].dataset->queries();
-    AssignPoissonArrivals(queries, spec.rate_per_dataset, spec.seed ^ (0xD00Dull + d));
+    // Per-dataset seeds are mixed through SplitMix64: the raw
+    // `seed ^ (0xD00D + d)` values differ only in their low bits for adjacent
+    // d, and AssignArrivals XORs its own constant on top — nearby datasets
+    // would get visibly correlated streams. SplitMix64 decorrelates them.
+    uint64_t arrival_state = spec.seed ^ (0xD00Dull + static_cast<uint64_t>(d));
+    AssignArrivals(queries, spec.arrivals, spec.rate_per_dataset, SplitMix64(arrival_state));
+    uint64_t tenant_state = spec.seed ^ (0x7E7A47ull + static_cast<uint64_t>(d));
+    AssignTenants(queries, spec.tenants, SplitMix64(tenant_state));
     for (const RagQuery& q : queries) {
       if (first_arrival[d] < 0 || q.arrival_time < first_arrival[d]) {
         first_arrival[d] = q.arrival_time;
@@ -344,23 +457,16 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     metrics.spec.scheduler = stack_options[d];
     metrics.spec.retrieval = spec.retrieval;
     metrics.spec.override_prefix_sharing = spec.override_prefix_sharing;
+    metrics.spec.tenants = spec.tenants;
+    metrics.spec.arrivals = spec.arrivals;
+    metrics.spec.overload = spec.overload;
     metrics.spec.seed = spec.seed;
-    SimTime last_finish = first_arrival[d];
+    metrics.records = std::move(ds.records);
+    AggregateRecords(metrics, spec.tenants, first_arrival[d]);
     double ds_tokens = 0;
-    for (const QueryRecord& rec : ds.records) {
-      metrics.delays.Add(rec.e2e_delay);
-      metrics.f1s.Add(rec.result.f1);
-      if (rec.profiler_delay > 0) {
-        metrics.profiler_delays.Add(rec.profiler_delay);
-        if (rec.e2e_delay > 0) {
-          metrics.profiler_fracs.Add(rec.profiler_delay / rec.e2e_delay);
-        }
-      }
-      last_finish = std::max(last_finish, rec.finish_time);
+    for (const QueryRecord& rec : metrics.records) {
       ds_tokens += rec.result.total_prompt_tokens + rec.result.total_output_tokens;
     }
-    metrics.sim_duration = std::max(1e-9, last_finish - first_arrival[d]);
-    metrics.throughput_qps = static_cast<double>(ds.records.size()) / metrics.sim_duration;
     metrics.engine_stats = engine.stats();
     if (ds.dataset->db().ivf_index() != nullptr) {
       metrics.mean_probes = ds.dataset->db().ivf_index()->mean_probes();
@@ -368,7 +474,7 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     }
     if (model.api_model) {
       double cost = 0;
-      for (const QueryRecord& rec : ds.records) {
+      for (const QueryRecord& rec : metrics.records) {
         cost += rec.result.total_prompt_tokens * model.usd_per_1m_input_tokens / 1e6 +
                 rec.result.total_output_tokens * model.usd_per_1m_output_tokens / 1e6;
       }
@@ -380,7 +486,6 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     if (ds.profiler_api) {
       metrics.profiler_cost_usd = ds.profiler_api->total_cost_usd();
     }
-    metrics.records = std::move(ds.records);
     out.push_back(std::move(metrics));
   }
   return out;
@@ -467,19 +572,25 @@ RunMetrics RunExperiment(const RunSpec& spec) {
     case SystemKind::kMetis: {
       MetisSystem::Options opts = spec.metis;
       opts.output_token_estimate = dataset->profile().max_output_tokens;
+      if (spec.overload.enabled) {
+        stack.overload = std::make_unique<OverloadController>(stack.engine.get(),
+                                                              spec.tenants, spec.overload);
+      }
       stack.system = std::make_unique<MetisSystem>(&stack.sim, stack.executor.get(),
                                                    stack.profiler.get(), stack.scheduler.get(),
-                                                   dataset.get(), opts, sink);
+                                                   dataset.get(), opts, sink,
+                                                   stack.overload.get());
       break;
     }
   }
 
   // Per-run copy of the queries so arrival times don't leak across runs.
   std::vector<RagQuery> queries = dataset->queries();
+  AssignTenants(queries, spec.tenants, spec.seed);
   SimTime first_arrival = 0;
 
   if (spec.arrival_rate > 0) {
-    AssignPoissonArrivals(queries, spec.arrival_rate, spec.seed);
+    AssignArrivals(queries, spec.arrivals, spec.arrival_rate, spec.seed);
     first_arrival = queries.front().arrival_time;
     for (const RagQuery& q : queries) {
       stack.sim.ScheduleAt(q.arrival_time, [sys = stack.system.get(), q]() { sys->Accept(q); });
@@ -507,21 +618,7 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   stack.sim.Run();
 
   // --- Aggregate ---
-  SimTime last_finish = first_arrival;
-  for (const QueryRecord& rec : metrics.records) {
-    metrics.delays.Add(rec.e2e_delay);
-    metrics.f1s.Add(rec.result.f1);
-    if (rec.profiler_delay > 0) {
-      metrics.profiler_delays.Add(rec.profiler_delay);
-      if (rec.e2e_delay > 0) {
-        metrics.profiler_fracs.Add(rec.profiler_delay / rec.e2e_delay);
-      }
-    }
-    last_finish = std::max(last_finish, rec.finish_time);
-  }
-  metrics.sim_duration = std::max(1e-9, last_finish - first_arrival);
-  metrics.throughput_qps =
-      static_cast<double>(metrics.records.size()) / metrics.sim_duration;
+  AggregateRecords(metrics, spec.tenants, first_arrival);
   metrics.engine_stats = stack.engine->stats();
   if (ivf != nullptr) {
     metrics.mean_probes = ivf->mean_probes();

@@ -57,24 +57,70 @@ struct RunSpec {
   // (used by the Fig. 12 ablation to stage batching separately).
   std::optional<bool> override_prefix_sharing;
 
+  // --- Multi-tenant overload control (src/core/overload.h) ---
+  // SLO classes queries arrive under. Empty (default): every query runs in
+  // one implicit default class and nothing below changes any behaviour.
+  // Non-empty: each query is assigned a class deterministically, with
+  // probability proportional to rate_share (its own Rng stream, so arrival
+  // times are untouched).
+  std::vector<TenantClass> tenants;
+  // Arrival process shape. kPoisson (default) is bit-identical to the
+  // historical AssignPoissonArrivals stream; bursty/diurnal/flash_crowd keep
+  // the same mean rate but concentrate arrivals (overload experiments).
+  ArrivalProcess arrivals;
+  // Degradation ladder; enabled=false (default) never constructs the
+  // controller — bit-for-bit parity with the ladderless stack. Only the
+  // METIS system consults it.
+  OverloadOptions overload;
+
   uint64_t seed = 42;
+};
+
+// Per-SLO-class outcome accounting for one run (RunMetrics::class_metrics).
+// When the spec declares no tenants, every run still reports one implicit
+// "default" class so downstream tooling has a uniform shape.
+struct TenantClassMetrics {
+  std::string name = "default";
+  int priority = 0;
+  double deadline_s = 0;     // <= 0: every completion counts as good.
+  uint64_t offered = 0;      // Arrivals routed to this class.
+  uint64_t completed = 0;    // Served to completion (rejected excluded).
+  uint64_t rejected = 0;     // Shed by admission control (ladder rung 3).
+  uint64_t missed_deadline = 0;  // Completed but past deadline_s.
+  uint64_t depth_shed = 0;       // Served with a clamped retrieval budget.
+  uint64_t synthesis_degraded = 0;  // Served with the cheap synthesis config.
+  Samples delays;            // e2e delay of completed queries only.
+  double goodput_qps = 0;    // In-deadline completions / run sim_duration.
+
+  double p50_delay() const { return delays.empty() ? 0 : delays.Quantile(0.5); }
+  double p99_delay() const { return delays.empty() ? 0 : delays.p99(); }
 };
 
 struct RunMetrics {
   std::string label;
   RunSpec spec;
 
-  Samples delays;           // End-to-end per-query delay (s).
-  Samples f1s;              // Per-query token F1.
+  Samples delays;           // End-to-end per-query delay (s); completed only.
+  Samples f1s;              // Per-query token F1; completed only.
   Samples profiler_delays;  // Per-query profiler latency (s); 0 for fixed.
   Samples profiler_fracs;   // profiler_delay / e2e_delay.
 
   double mean_delay() const { return delays.mean(); }
+  double p50_delay() const { return delays.empty() ? 0 : delays.Quantile(0.5); }
   double p90_delay() const { return delays.empty() ? 0 : delays.p90(); }
+  double p99_delay() const { return delays.empty() ? 0 : delays.p99(); }
   double mean_f1() const { return f1s.mean(); }
 
   double sim_duration = 0;    // First arrival to last completion (s).
   double throughput_qps = 0;  // Completed queries / sim_duration.
+  // Overload accounting. Goodput counts completions within their class
+  // deadline (no deadline = all completions good); without overload control
+  // and without deadlines, goodput_qps == throughput_qps and
+  // rejected_queries == 0.
+  uint64_t rejected_queries = 0;
+  double goodput_qps = 0;
+  // One entry per spec.tenants class (a single "default" entry when empty).
+  std::vector<TenantClassMetrics> class_metrics;
   // IVF backend only: average inverted lists probed per index search during
   // this run (0 under the flat backend) — the observable that proves the
   // retrieval-depth knob reached the index.
@@ -142,6 +188,13 @@ struct MixedRunSpec {
   // datasets[d]'s whole stack. Missing/nullopt entries fall back to the
   // calibrated line above.
   std::vector<std::optional<JointSchedulerOptions>> per_dataset_scheduler;
+
+  // --- Multi-tenant overload control (same contract as RunSpec) ---
+  // One controller watches the SHARED engine; all dataset stacks feed it, so
+  // the ladder reacts to aggregate backlog, not per-dataset slices.
+  std::vector<TenantClass> tenants;
+  ArrivalProcess arrivals;  // Applied per dataset stream (kPoisson default).
+  OverloadOptions overload;
 
   uint64_t seed = 42;
 };

@@ -61,6 +61,10 @@ struct RagQuery {
   bool underspecified = false;
 
   SimTime arrival_time = 0;  // Filled by the arrival process.
+  // Tenant-class index (RunSpec::tenants) this query arrives under; assigned
+  // by the runner's deterministic tenant stream. 0 when no classes are
+  // configured — the single-anonymous-tenant behaviour.
+  int tenant = 0;
 };
 
 struct DatasetProfile {
@@ -160,6 +164,58 @@ void AssignPoissonArrivals(std::vector<RagQuery>& queries, double rate, uint64_t
 // Sequential (closed-loop) arrivals are represented by arrival_time = 0 and
 // are driven by the runner; this marks them.
 void AssignSequentialArrivals(std::vector<RagQuery>& queries);
+
+// --- Non-Poisson arrival processes (overload workloads) ---------------------
+//
+// The paper replays one well-behaved open-loop Poisson trace; overload
+// control needs traffic that *exceeds* capacity in realistic shapes. Three
+// generators join AssignPoissonArrivals, all deterministic per seed and all
+// parameterized by the same mean `rate` so "offered load" stays comparable
+// across shapes:
+//
+//   kBursty:     two-state Markov-modulated Poisson (on/off). Bursts arrive
+//                at rate * burst_factor for an exponential on-period, then a
+//                quiet off-period whose rate is chosen so the long-run mean
+//                stays `rate` (off-rate clamps at 0 when burst_factor >
+//                1/burst_fraction — the mean is then slightly below `rate`).
+//   kDiurnal:    sinusoidal rate modulation rate(t) = rate * (1 +
+//                amplitude * sin(2*pi*t / period)), via thinning against the
+//                peak rate — a compressed day/night cycle.
+//   kFlashCrowd: baseline Poisson at `rate` with one spike window
+//                [flash_start_s, flash_start_s + flash_duration_s] during
+//                which the rate multiplies by flash_factor — the
+//                past-saturation regime the degradation ladder exists for.
+enum class ArrivalKind { kPoisson, kBursty, kDiurnal, kFlashCrowd };
+
+const char* ArrivalKindName(ArrivalKind kind);
+
+struct ArrivalProcess {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  // kBursty:
+  double burst_factor = 3.0;     // In-burst rate multiplier (> 1).
+  double burst_fraction = 0.25;  // Long-run fraction of time in burst state.
+  double mean_cycle_s = 40.0;    // Mean on+off cycle length (s).
+  // kDiurnal:
+  double diurnal_period_s = 120.0;
+  double diurnal_amplitude = 0.8;  // In [0, 1].
+  // kFlashCrowd:
+  double flash_start_s = 20.0;
+  double flash_duration_s = 15.0;
+  double flash_factor = 8.0;
+};
+
+// `n` arrival times under `process` at mean rate `rate`, strictly increasing,
+// deterministic per Rng state. kPoisson reproduces PoissonArrivalTimes on the
+// same Rng bit for bit.
+std::vector<SimTime> ArrivalTimesFor(const ArrivalProcess& process, Rng& rng, int n,
+                                     double rate);
+
+// Assigns arrival times under `process` in place. kPoisson is bit-identical
+// to AssignPoissonArrivals(queries, rate, seed) — the runner routes every
+// spec through this entry point, so the default spec replays the historical
+// stream exactly.
+void AssignArrivals(std::vector<RagQuery>& queries, const ArrivalProcess& process,
+                    double rate, uint64_t seed);
 
 }  // namespace metis
 

@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/core/depth_calibrator.h"
 #include "src/runner/runner.h"
+#include "src/workload/dataset.h"
 
 namespace metis {
 namespace {
@@ -319,6 +321,41 @@ TEST(MixedRunnerTest, ClearDatasetCacheDropsEntries) {
   auto c = GetOrGenerateDataset("squad", 15, "cohere-embed-v3-sim", 3);
   EXPECT_NE(a.get(), c.get());  // Regenerated; `a` stays alive through its ref.
   EXPECT_EQ(a->queries().size(), c->queries().size());
+}
+
+// Pins the per-dataset arrival seeding: dataset d's stream is the historical
+// Poisson stream under seed SplitMix64(spec.seed ^ (0xD00D + d)) — mixed
+// through SplitMix64 so structurally related spec seeds (e.g. seed and
+// seed ^ 1) cannot produce correlated per-dataset streams the way the old
+// raw `seed ^ (0xD00D + d)` Rng seeding could.
+TEST(MixedRunnerTest, PerDatasetArrivalStreamsUseSplitMixedSeeds) {
+  MixedRunSpec spec;
+  spec.datasets = {"squad", "musique"};
+  spec.queries_per_dataset = 25;
+  spec.rate_per_dataset = 1.5;
+  spec.seed = 11;
+  spec.system = SystemKind::kMetis;
+
+  auto results = RunMixedExperiment(spec);
+  ASSERT_EQ(results.size(), 2u);
+  for (size_t d = 0; d < results.size(); ++d) {
+    uint64_t state = spec.seed ^ (0xD00Dull + static_cast<uint64_t>(d));
+    std::vector<RagQuery> expected(static_cast<size_t>(spec.queries_per_dataset));
+    AssignPoissonArrivals(expected, spec.rate_per_dataset, SplitMix64(state));
+    std::vector<double> want, got;
+    for (const RagQuery& q : expected) {
+      want.push_back(q.arrival_time);
+    }
+    for (const QueryRecord& rec : results[d].records) {
+      got.push_back(rec.arrival_time);
+    }
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(want.size(), got.size()) << "dataset " << d;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_DOUBLE_EQ(want[i], got[i]) << "dataset " << d << " arrival " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "src/text/tokenizer.h"
 #include "src/workload/dataset.h"
@@ -189,6 +193,131 @@ TEST(ArrivalsTest, AssignPoissonIsDeterministic) {
   }
   AssignSequentialArrivals(q1);
   EXPECT_DOUBLE_EQ(q1[5].arrival_time, 0.0);
+}
+
+TEST(ArrivalsTest, AssignArrivalsPoissonMatchesHistoricalStream) {
+  // The kPoisson path of AssignArrivals is documented bit-identical to
+  // AssignPoissonArrivals — existing specs keep their exact arrival times.
+  auto a = Gen("squad", 20);
+  std::vector<RagQuery> legacy = a->queries();
+  std::vector<RagQuery> routed = a->queries();
+  AssignPoissonArrivals(legacy, 2.0, 42);
+  AssignArrivals(routed, ArrivalProcess{}, 2.0, 42);
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy[i].arrival_time, routed[i].arrival_time);
+  }
+}
+
+class ArrivalKindTest : public testing::TestWithParam<ArrivalKind> {};
+
+TEST_P(ArrivalKindTest, OrderedDeterministicAndRatePreserving) {
+  ArrivalProcess process;
+  process.kind = GetParam();
+  const int n = 4000;
+  const double rate = 2.0;
+  Rng r1(7), r2(7), r3(8);
+  std::vector<SimTime> a = ArrivalTimesFor(process, r1, n, rate);
+  std::vector<SimTime> b = ArrivalTimesFor(process, r2, n, rate);
+  std::vector<SimTime> c = ArrivalTimesFor(process, r3, n, rate);
+  ASSERT_EQ(a.size(), static_cast<size_t>(n));
+  EXPECT_EQ(a, b);  // Deterministic per seed...
+  EXPECT_NE(a, c);  // ...and actually seed-dependent.
+  EXPECT_GE(a.front(), 0.0);
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i], a[i - 1]);
+  }
+  // Mean-rate-preserving: over many arrivals the long-run rate approaches the
+  // nominal one for every shape (bursts/lulls average out). Flash crowds
+  // front-load a finite window, so the realized rate runs a little HOT of
+  // nominal at finite n; bound it from both sides loosely.
+  double realized = static_cast<double>(n) / a.back();
+  EXPECT_GT(realized, 0.8 * rate);
+  EXPECT_LT(realized, 1.6 * rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ArrivalKindTest,
+                         testing::Values(ArrivalKind::kPoisson, ArrivalKind::kBursty,
+                                         ArrivalKind::kDiurnal, ArrivalKind::kFlashCrowd),
+                         [](const testing::TestParamInfo<ArrivalKind>& info) {
+                           return std::string(ArrivalKindName(info.param));
+                         });
+
+TEST(ArrivalsTest, BurstyConcentratesArrivalsIntoBurstWindows) {
+  // A two-state MMPP at burst_factor 3 must show tighter inter-arrival gaps
+  // than Poisson at the same mean rate: the median gap (dominated by in-burst
+  // arrivals) shrinks while the mean gap stays ~1/rate.
+  ArrivalProcess bursty;
+  bursty.kind = ArrivalKind::kBursty;
+  const int n = 4000;
+  Rng rb(11), rp(11);
+  std::vector<SimTime> b = ArrivalTimesFor(bursty, rb, n, 2.0);
+  std::vector<SimTime> p = ArrivalTimesFor(ArrivalProcess{}, rp, n, 2.0);
+  auto median_gap = [](const std::vector<SimTime>& t) {
+    std::vector<double> gaps;
+    for (size_t i = 1; i < t.size(); ++i) {
+      gaps.push_back(t[i] - t[i - 1]);
+    }
+    std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+    return gaps[gaps.size() / 2];
+  };
+  EXPECT_LT(median_gap(b), 0.8 * median_gap(p));
+}
+
+TEST(ArrivalsTest, FlashCrowdConcentratesArrivalsInWindow) {
+  ArrivalProcess flash;
+  flash.kind = ArrivalKind::kFlashCrowd;
+  flash.flash_start_s = 20.0;
+  flash.flash_duration_s = 15.0;
+  flash.flash_factor = 8.0;
+  const int n = 1000;
+  const double rate = 2.0;
+  Rng rng(5);
+  std::vector<SimTime> t = ArrivalTimesFor(flash, rng, n, rate);
+  size_t in_window = 0;
+  for (SimTime x : t) {
+    if (x >= flash.flash_start_s && x < flash.flash_start_s + flash.flash_duration_s) {
+      ++in_window;
+    }
+  }
+  // During the window the rate is 8x nominal = 16 qps over 15 s: ~240
+  // arrivals vs the ~30 a flat stream would place there.
+  EXPECT_GT(in_window, 150u);
+  double window_rate = static_cast<double>(in_window) / flash.flash_duration_s;
+  EXPECT_NEAR(window_rate, rate * flash.flash_factor, 0.35 * rate * flash.flash_factor);
+}
+
+TEST(ArrivalsTest, DiurnalOscillatesAroundMeanRate) {
+  ArrivalProcess diurnal;
+  diurnal.kind = ArrivalKind::kDiurnal;
+  diurnal.diurnal_period_s = 120.0;
+  diurnal.diurnal_amplitude = 0.8;
+  const int n = 4000;
+  const double rate = 2.0;
+  Rng rng(13);
+  std::vector<SimTime> t = ArrivalTimesFor(diurnal, rng, n, rate);
+  // First half-period (sin > 0) runs above nominal, second half below.
+  size_t first_half = 0, second_half = 0;
+  for (SimTime x : t) {
+    double phase = std::fmod(x, diurnal.diurnal_period_s);
+    (phase < diurnal.diurnal_period_s / 2 ? first_half : second_half) += 1;
+  }
+  EXPECT_GT(first_half, second_half * 2);
+}
+
+TEST(ArrivalsTest, AssignArrivalsIsDeterministicForEveryKind) {
+  auto a = Gen("squad", 30);
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kDiurnal,
+                           ArrivalKind::kFlashCrowd}) {
+    ArrivalProcess process;
+    process.kind = kind;
+    std::vector<RagQuery> q1 = a->queries();
+    std::vector<RagQuery> q2 = a->queries();
+    AssignArrivals(q1, process, 2.0, 17);
+    AssignArrivals(q2, process, 2.0, 17);
+    for (size_t i = 0; i < q1.size(); ++i) {
+      EXPECT_DOUBLE_EQ(q1[i].arrival_time, q2[i].arrival_time) << ArrivalKindName(kind);
+    }
+  }
 }
 
 }  // namespace
