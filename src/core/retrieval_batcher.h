@@ -15,6 +15,11 @@
 // components fire in the same order. Only the index sweep is shared: the
 // first delivery of a same-tick group runs one RetrieveBatch for the whole
 // group and the remaining deliveries drain the precomputed results.
+//
+// On a live-mutable serving index the shared sweep also fixes the snapshot:
+// SearchBatch pins ONE epoch for the whole call, so a coalesced group can
+// never straddle a concurrent insert/delete/compaction — every answer in
+// the group reflects the same live set (src/vectordb/mutable_index.h).
 
 #ifndef METIS_SRC_CORE_RETRIEVAL_BATCHER_H_
 #define METIS_SRC_CORE_RETRIEVAL_BATCHER_H_

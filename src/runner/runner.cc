@@ -4,11 +4,13 @@
 #include <map>
 #include <mutex>
 #include <tuple>
+#include <unordered_set>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
 #include "src/core/retrieval_batcher.h"
+#include "src/vectordb/mutable_index.h"
 
 namespace metis {
 
@@ -79,7 +81,7 @@ DatasetCache& TheDatasetCache() {
 // path in RunMixedExperiment: the duplicate-dataset fix there relies on a
 // fresh instance being deterministically identical to the cached one, so the
 // recipe must live in exactly one place.
-std::shared_ptr<const Dataset> GenerateDatasetUncached(
+std::shared_ptr<Dataset> GenerateDatasetUncached(
     const std::string& dataset_name, int num_queries, const std::string& embedding_model,
     uint64_t seed, const RetrievalIndexOptions& index_options) {
   DatasetGenerator generator(GetDatasetProfile(dataset_name), seed);
@@ -154,6 +156,7 @@ namespace {
 // Per-dataset policy stack sharing one engine + simulator.
 struct DatasetStack {
   std::shared_ptr<const Dataset> dataset;
+  Dataset* live_dataset = nullptr;  // Non-null when this run may mutate it.
   std::unique_ptr<RetrievalBatcher> batcher;
   std::unique_ptr<SynthesisExecutor> executor;
   std::unique_ptr<ApiLlmClient> profiler_api;
@@ -273,6 +276,87 @@ void AggregateRecords(RunMetrics& metrics, const std::vector<TenantClass>& tenan
   metrics.goodput_qps = static_cast<double>(good_total) / metrics.sim_duration;
 }
 
+// Schedules the spec'd ingest stream into `sim`. Op times come from the same
+// arrival-process machinery as query arrivals; the insert/delete choice,
+// insert contents, and delete victims come from a dedicated Rng stream.
+// Delete victims are drawn at EXECUTION time from the then-live pool — still
+// deterministic, because the simulator fires events in timestamp order. The
+// closure state (victim pool, Rng) is shared across ops via shared_ptrs.
+void ScheduleIngest(Simulator& sim, Dataset* dataset, const IngestOptions& opts,
+                    uint64_t seed) {
+  VectorDatabase* db = &dataset->mutable_db();
+  METIS_CHECK(db->mutable_index() != nullptr);
+  METIS_CHECK_GT(opts.rate, 0);
+  // Deletable pool: live chunks, minus gold-bearing ones unless delete_gold
+  // (so F1 stays comparable with a static run of the same queries).
+  auto victims = std::make_shared<std::vector<ChunkId>>();
+  std::unordered_set<ChunkId> gold;
+  if (!opts.delete_gold) {
+    for (const RagQuery& q : dataset->queries()) {
+      for (int32_t fid : q.gold_fact_ids) {
+        gold.insert(dataset->fact(fid).chunk_id);
+      }
+    }
+  }
+  for (ChunkId id = 0; id < static_cast<ChunkId>(db->num_chunks()); ++id) {
+    if (db->chunk_live(id) && gold.count(id) == 0) {
+      victims->push_back(id);
+    }
+  }
+  uint64_t op_state = seed ^ 0x16357ull;
+  auto rng = std::make_shared<Rng>(SplitMix64(op_state));
+  uint64_t time_state = seed ^ 0x71A357ull;
+  Rng time_rng(SplitMix64(time_state));
+  std::vector<SimTime> times = ArrivalTimesFor(opts.arrivals, time_rng, opts.num_ops, opts.rate);
+  const int chunk_tokens = dataset->profile().chunk_tokens;
+  const double insert_fraction = opts.insert_fraction;
+  for (SimTime t : times) {
+    sim.ScheduleAt(t, [db, victims, rng, chunk_tokens, insert_fraction]() {
+      if (rng->Bernoulli(insert_fraction) || victims->empty()) {
+        // A synthetic filler chunk out of unique pseudo-words: it lands in
+        // its own corner of embedding space, like the generator's own filler.
+        Chunk c;
+        std::string text;
+        for (int w = 0; w < 12; ++w) {
+          if (w > 0) {
+            text += ' ';
+          }
+          text += StrFormat("ing%llx", static_cast<unsigned long long>(rng->NextU64()));
+        }
+        c.text = std::move(text);
+        c.token_count = chunk_tokens;
+        ChunkId id = db->InsertChunks({std::move(c)}).front();
+        victims->push_back(id);  // Freshly inserted chunks are deletable too.
+      } else {
+        size_t pick = rng->Index(victims->size());
+        ChunkId id = (*victims)[pick];
+        (*victims)[pick] = victims->back();
+        victims->pop_back();
+        METIS_CHECK_EQ(db->DeleteChunks({id}), 1u);
+      }
+    });
+  }
+}
+
+// End-of-run snapshot of the mutable index's counters into RunMetrics::ingest
+// (no-op for static-index runs, leaving the zeros).
+void FillIngestMetrics(RunMetrics& metrics, const VectorDatabase& db) {
+  const MutableIndex* mi = db.mutable_index();
+  if (mi == nullptr) {
+    return;
+  }
+  MutableIndexStats s = mi->stats();
+  metrics.ingest.inserts = s.inserts;
+  metrics.ingest.deletes = s.deletes;
+  metrics.ingest.seals = s.seals;
+  metrics.ingest.compactions = s.compactions;
+  metrics.ingest.retrains = s.retrains;
+  metrics.ingest.live_chunks = s.live_rows;
+  metrics.ingest.segments = s.open_segments;
+  metrics.ingest.memtable_rows = s.memtable_rows;
+  metrics.ingest.tombstones = s.tombstones;
+}
+
 }  // namespace
 
 JointSchedulerOptions EffectiveSchedulerOptions(const MixedRunSpec& spec, size_t d,
@@ -296,6 +380,10 @@ JointSchedulerOptions EffectiveSchedulerOptions(const MixedRunSpec& spec, size_t
 std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
   METIS_CHECK(!spec.datasets.empty());
   METIS_CHECK(!spec.fixed_configs.empty());
+  const bool ingesting = spec.ingest.enabled && spec.ingest.num_ops > 0;
+  if (ingesting) {
+    METIS_CHECK(spec.retrieval.mutable_index);  // Live ingest needs the mutable index.
+  }
 
   Simulator sim;
   const ModelSpec& model = GetModelSpec(spec.serving_model);
@@ -325,7 +413,16 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
   std::map<std::string, size_t> name_count;
   for (size_t d = 0; d < spec.datasets.size(); ++d) {
     DatasetStack& ds = stacks[d];
-    if (name_count[spec.datasets[d]]++ == 0) {
+    if (spec.retrieval.mutable_index) {
+      // Mutable-index stacks always own a private instance: the ingest stream
+      // mutates each stack's database independently, and cached corpora must
+      // stay immutable (same reasoning as RunExperiment).
+      std::shared_ptr<Dataset> priv =
+          GenerateDatasetUncached(spec.datasets[d], spec.queries_per_dataset,
+                                  spec.embedding_model, spec.seed, spec.retrieval);
+      ds.live_dataset = priv.get();
+      ds.dataset = priv;
+    } else if (name_count[spec.datasets[d]]++ == 0) {
       ds.dataset = GetOrGenerateDataset(spec.datasets[d], spec.queries_per_dataset,
                                         spec.embedding_model, spec.seed, spec.retrieval);
     } else {
@@ -418,6 +515,11 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     AssignArrivals(queries, spec.arrivals, spec.rate_per_dataset, SplitMix64(arrival_state));
     uint64_t tenant_state = spec.seed ^ (0x7E7A47ull + static_cast<uint64_t>(d));
     AssignTenants(queries, spec.tenants, SplitMix64(tenant_state));
+    if (ingesting) {
+      // Per-stack decorrelated op stream, same SplitMix64 mixing as arrivals.
+      uint64_t ingest_state = spec.seed ^ (0x1A6E57ull + static_cast<uint64_t>(d));
+      ScheduleIngest(sim, stacks[d].live_dataset, spec.ingest, SplitMix64(ingest_state));
+    }
     for (const RagQuery& q : queries) {
       if (first_arrival[d] < 0 || q.arrival_time < first_arrival[d]) {
         first_arrival[d] = q.arrival_time;
@@ -460,9 +562,12 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     metrics.spec.tenants = spec.tenants;
     metrics.spec.arrivals = spec.arrivals;
     metrics.spec.overload = spec.overload;
+    metrics.spec.ingest = spec.ingest;
     metrics.spec.seed = spec.seed;
     metrics.records = std::move(ds.records);
-    AggregateRecords(metrics, spec.tenants, first_arrival[d]);
+    // A zero-query stack (ingest-only) never sets its first arrival; clamp
+    // the sentinel so the window starts at 0.
+    AggregateRecords(metrics, spec.tenants, std::max<SimTime>(0, first_arrival[d]));
     double ds_tokens = 0;
     for (const QueryRecord& rec : metrics.records) {
       ds_tokens += rec.result.total_prompt_tokens + rec.result.total_output_tokens;
@@ -472,6 +577,7 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
       metrics.mean_probes = ds.dataset->db().ivf_index()->mean_probes();
       metrics.probe_histogram = ds.dataset->db().ivf_index()->probe_histogram();
     }
+    FillIngestMetrics(metrics, ds.dataset->db());
     if (model.api_model) {
       double cost = 0;
       for (const QueryRecord& rec : metrics.records) {
@@ -492,8 +598,25 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
 }
 
 RunMetrics RunExperiment(const RunSpec& spec) {
-  std::shared_ptr<const Dataset> dataset = GetOrGenerateDataset(
-      spec.dataset, spec.num_queries, spec.embedding_model, spec.seed, spec.retrieval);
+  const bool ingesting = spec.ingest.enabled && spec.ingest.num_ops > 0;
+  if (ingesting) {
+    METIS_CHECK(spec.retrieval.mutable_index);  // Live ingest needs the mutable index.
+  }
+  std::shared_ptr<const Dataset> dataset;
+  Dataset* live_dataset = nullptr;  // Non-null when this run may mutate it.
+  if (spec.retrieval.mutable_index) {
+    // Mutable-index runs bypass the shared cache: the ingest stream mutates
+    // the database, and a cached corpus must stay immutable for every other
+    // spec resolving to the same entry. Generation is deterministic, so the
+    // private instance is identical to what the cache would have held.
+    std::shared_ptr<Dataset> priv = GenerateDatasetUncached(
+        spec.dataset, spec.num_queries, spec.embedding_model, spec.seed, spec.retrieval);
+    live_dataset = priv.get();
+    dataset = priv;
+  } else {
+    dataset = GetOrGenerateDataset(spec.dataset, spec.num_queries, spec.embedding_model,
+                                   spec.seed, spec.retrieval);
+  }
   // Probe accounting is per-run: the dataset (and its index) is shared
   // through the cache, so zero the counters before this run's traffic.
   const IvfL2Index* ivf = dataset->db().ivf_index();
@@ -584,6 +707,11 @@ RunMetrics RunExperiment(const RunSpec& spec) {
     }
   }
 
+  // The ingest stream shares the simulation clock with the query stream.
+  if (ingesting) {
+    ScheduleIngest(stack.sim, live_dataset, spec.ingest, spec.seed);
+  }
+
   // Per-run copy of the queries so arrival times don't leak across runs.
   std::vector<RagQuery> queries = dataset->queries();
   AssignTenants(queries, spec.tenants, spec.seed);
@@ -591,7 +719,9 @@ RunMetrics RunExperiment(const RunSpec& spec) {
 
   if (spec.arrival_rate > 0) {
     AssignArrivals(queries, spec.arrivals, spec.arrival_rate, spec.seed);
-    first_arrival = queries.front().arrival_time;
+    // Ingest-only specs (num_queries == 0) have no arrivals; the window then
+    // starts at 0 and every completion-derived metric stays defined (zero).
+    first_arrival = queries.empty() ? 0 : queries.front().arrival_time;
     for (const RagQuery& q : queries) {
       stack.sim.ScheduleAt(q.arrival_time, [sys = stack.system.get(), q]() { sys->Accept(q); });
     }
@@ -620,10 +750,15 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   // --- Aggregate ---
   AggregateRecords(metrics, spec.tenants, first_arrival);
   metrics.engine_stats = stack.engine->stats();
-  if (ivf != nullptr) {
-    metrics.mean_probes = ivf->mean_probes();
-    metrics.probe_histogram = ivf->probe_histogram();
+  // Re-fetch the IVF handle: under a mutable index a retrain swaps the base,
+  // so the pre-run pointer may be stale. Probe counters are carried across
+  // swaps (CopyProbeStatsFrom), so readings stay cumulative for the run.
+  const IvfL2Index* ivf_now = dataset->db().ivf_index();
+  if (ivf_now != nullptr) {
+    metrics.mean_probes = ivf_now->mean_probes();
+    metrics.probe_histogram = ivf_now->probe_histogram();
   }
+  FillIngestMetrics(metrics, dataset->db());
 
   if (model.api_model) {
     // API-served inference (the Fig. 13 GPT-4o comparison): per-token price.

@@ -30,6 +30,38 @@ enum class SystemKind {
 
 const char* SystemKindName(SystemKind kind);
 
+// Streaming ingest under serving load (requires retrieval.mutable_index).
+// The runner schedules `num_ops` insert/delete operations into the same
+// simulation clock the query stream runs on, through the same arrival-process
+// machinery — deterministic per seed. Inserts add synthetic filler chunks to
+// the live database; deletes tombstone a uniformly random live victim.
+struct IngestOptions {
+  bool enabled = false;
+  int num_ops = 0;
+  double rate = 4.0;             // Ops/sec (mean of `arrivals`).
+  double insert_fraction = 0.8;  // P(insert) per op; the rest delete.
+  // False (default): deletes only ever pick non-gold chunks, so query F1
+  // stays comparable with a static-index run of the same spec. True widens
+  // the victim pool to the whole live corpus (recall-under-churn stress).
+  bool delete_gold = false;
+  ArrivalProcess arrivals;  // Op arrival shape (kPoisson default).
+};
+
+// Ingest-stream + index-lifecycle accounting for one run (zeros unless the
+// spec ran a mutable index). Counter fields mirror MutableIndexStats; the
+// gauges are end-of-run snapshots.
+struct IngestMetrics {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t seals = 0;
+  uint64_t compactions = 0;
+  uint64_t retrains = 0;
+  size_t live_chunks = 0;
+  size_t segments = 0;
+  size_t memtable_rows = 0;
+  size_t tombstones = 0;
+};
+
 struct RunSpec {
   std::string dataset = "musique";
   int num_queries = 200;
@@ -72,6 +104,10 @@ struct RunSpec {
   // controller — bit-for-bit parity with the ladderless stack. Only the
   // METIS system consults it.
   OverloadOptions overload;
+
+  // Live insert/delete stream concurrent with the query stream (requires
+  // retrieval.mutable_index; ignored when disabled).
+  IngestOptions ingest;
 
   uint64_t seed = 42;
 };
@@ -132,6 +168,9 @@ struct RunMetrics {
   // (JointSchedulerOptions::per_query_depth) the spread shows which budgets
   // the RetrievalDepthPolicy actually assigned.
   std::vector<uint64_t> probe_histogram;
+  // Mutable-index runs only: what the ingest stream did and where the index's
+  // segment lifecycle ended up (all zeros for static-index runs).
+  IngestMetrics ingest;
   double engine_cost_usd = 0;
   double profiler_cost_usd = 0;
   double total_cost_usd() const { return engine_cost_usd + profiler_cost_usd; }
@@ -195,6 +234,10 @@ struct MixedRunSpec {
   std::vector<TenantClass> tenants;
   ArrivalProcess arrivals;  // Applied per dataset stream (kPoisson default).
   OverloadOptions overload;
+
+  // Live insert/delete stream, applied to EVERY dataset stack's database on
+  // its own decorrelated op stream (requires retrieval.mutable_index).
+  IngestOptions ingest;
 
   uint64_t seed = 42;
 };

@@ -8,6 +8,8 @@
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/vectordb/kernels.h"
+#include "src/vectordb/mutable_index.h"
+#include "src/vectordb/topk.h"
 
 namespace metis {
 
@@ -44,70 +46,11 @@ void RowPool::Append(ChunkId id, const float* v) {
 }
 
 // --- Bounded top-k selection ------------------------------------------------
+//
+// Cand / BoundedTopK moved to topk.h (shared with mutable_index.cc); the
+// distance scans stay here so the hot-flags TU holds their only codegen.
 
 namespace {
-
-// Candidate under selection: distance plus the position at which it was
-// considered (insertion order for flat, probe-concatenation order for IVF).
-struct Cand {
-  float dist;
-  size_t order;
-  ChunkId id;
-};
-
-// Total order matching the seed's stable_sort-by-distance: distance first,
-// candidate order as the tie-break. Selecting the k smallest under this total
-// order is independent of how candidates are partitioned or interleaved.
-inline bool CandLess(const Cand& a, const Cand& b) {
-  if (a.dist != b.dist) {
-    return a.dist < b.dist;
-  }
-  return a.order < b.order;
-}
-
-// Max-heap of the k best candidates seen so far: O(log k) per insertion past
-// the warmup, O(k) memory — replaces the seed's materialize-all + stable_sort.
-class BoundedTopK {
- public:
-  explicit BoundedTopK(size_t k) : k_(k) { heap_.reserve(k); }
-
-  void Offer(float dist, size_t order, ChunkId id) {
-    if (k_ == 0) {
-      return;
-    }
-    if (heap_.size() < k_) {
-      heap_.push_back(Cand{dist, order, id});
-      std::push_heap(heap_.begin(), heap_.end(), CandLess);
-      return;
-    }
-    const Cand& worst = heap_.front();
-    if (dist > worst.dist || (dist == worst.dist && order > worst.order)) {
-      return;
-    }
-    std::pop_heap(heap_.begin(), heap_.end(), CandLess);
-    heap_.back() = Cand{dist, order, id};
-    std::push_heap(heap_.begin(), heap_.end(), CandLess);
-  }
-
-  std::vector<SearchHit> Drain() {
-    std::sort_heap(heap_.begin(), heap_.end(), CandLess);  // Ascending.
-    std::vector<SearchHit> hits;
-    hits.reserve(heap_.size());
-    for (const Cand& c : heap_) {
-      hits.push_back(SearchHit{c.id, c.dist});
-    }
-    heap_.clear();
-    return hits;
-  }
-
-  // The retained candidates in heap order (for cross-shard merging; the
-  // merge re-heapifies, so ordering here does not matter).
-  const std::vector<Cand>& cands() const { return heap_; }
-
- private:
-  size_t k_;
-  std::vector<Cand> heap_;
-};
 
 // Folds per-shard top-k heaps (heaps[start + i * stride] for i in
 // [0, count)) into the global top-k. Each shard heap holds its shard's k
@@ -132,12 +75,17 @@ std::vector<SearchHit> MergeShardTopK(std::vector<BoundedTopK>& heaps, size_t st
 // Candidate order is `base` + orders[i]: every scanned pool is an IndexShard
 // pool, whose parallel `orders` array carries the single-shard-equivalent
 // order per row. The dispatched dot kernel is fetched once per scan, not
-// once per row.
-void ScanRows(const RowPool& pool, size_t begin, size_t end, const float* q, double qnorm,
-              const size_t* orders, size_t base, BoundedTopK& out) {
+// once per row. Templated on filtering so the unfiltered static path keeps
+// exactly the loop it had before tombstones existed.
+template <bool kFiltered>
+void ScanRowsImpl(const RowPool& pool, size_t begin, size_t end, const float* q, double qnorm,
+                  const size_t* orders, size_t base, const IdFilter& exclude, BoundedTopK& out) {
   size_t dim = pool.dim();
   DotKernelFn dot = ActiveDotKernel();
   for (size_t i = begin; i < end; ++i) {
+    if (kFiltered && exclude.contains(pool.id(i))) {
+      continue;
+    }
     float d = static_cast<float>(pool.norm(i) + qnorm - 2.0 * dot(pool.row(i), q, dim));
     if (d < 0.0f) {
       d = 0.0f;  // Decomposition rounding can dip just below zero for rows
@@ -148,14 +96,20 @@ void ScanRows(const RowPool& pool, size_t begin, size_t end, const float* q, dou
   }
 }
 
+void ScanRows(const RowPool& pool, size_t begin, size_t end, const float* q, double qnorm,
+              const size_t* orders, size_t base, BoundedTopK& out) {
+  ScanRowsImpl<false>(pool, begin, end, q, qnorm, orders, base, IdFilter{}, out);
+}
+
 // Scans shard `shard` of every probed inverted list into `out` (IVF batch
 // fan-out unit). `probe_lists`/`bases` come from IvfL2Index::PlanProbes.
 void ScanProbedShard(const std::vector<std::vector<IndexShard>>& lists,
                      const std::vector<size_t>& probe_lists, const std::vector<size_t>& bases,
-                     size_t shard, const float* q, double qnorm, BoundedTopK& out) {
+                     size_t shard, const float* q, double qnorm, const IdFilter& exclude,
+                     BoundedTopK& out) {
   for (size_t p = 0; p < probe_lists.size(); ++p) {
     const IndexShard& sh = lists[probe_lists[p]][shard];
-    ScanRows(sh.rows, 0, sh.rows.size(), q, qnorm, sh.orders.data(), bases[p], out);
+    ScanRowsInto(sh.rows, 0, sh.rows.size(), q, qnorm, sh.orders.data(), bases[p], exclude, out);
   }
 }
 
@@ -167,6 +121,17 @@ size_t BlockRows(size_t stride) {
 }
 
 }  // namespace
+
+// The one definition of the filtered scan (declared in topk.h; see there for
+// why mutable_index.cc must not grow its own copy).
+void ScanRowsInto(const RowPool& pool, size_t begin, size_t end, const float* q, double qnorm,
+                  const size_t* orders, size_t base, const IdFilter& exclude, BoundedTopK& out) {
+  if (exclude.empty()) {
+    ScanRowsImpl<false>(pool, begin, end, q, qnorm, orders, base, exclude, out);
+  } else {
+    ScanRowsImpl<true>(pool, begin, end, q, qnorm, orders, base, exclude, out);
+  }
+}
 
 // --- VectorIndex default batch ----------------------------------------------
 
@@ -192,6 +157,21 @@ std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
     results.push_back(Search(queries[i], k, qualities[i]));
   }
   return results;
+}
+
+std::vector<OrderedHit> VectorIndex::SearchOrdered(const Embedding& query, size_t k,
+                                                   const RetrievalQuality& quality,
+                                                   const IdFilter& exclude) const {
+  // Rank order is only a valid candidate order when nothing is filtered out;
+  // backends with real storage override this with a scan-level filter.
+  METIS_CHECK(exclude.empty());
+  std::vector<SearchHit> hits = Search(query, k, quality);
+  std::vector<OrderedHit> out;
+  out.reserve(hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    out.push_back(OrderedHit{hits[i].id, hits[i].distance, i});
+  }
+  return out;
 }
 
 // --- FlatL2Index ------------------------------------------------------------
@@ -290,6 +270,27 @@ std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(
   return SearchBatch(queries, k, pool);
 }
 
+std::vector<OrderedHit> FlatL2Index::SearchOrdered(const Embedding& query, size_t k,
+                                                   const RetrievalQuality& quality,
+                                                   const IdFilter& exclude) const {
+  (void)quality;  // Exact backend: no recall knob.
+  METIS_CHECK_EQ(query.size(), dim_);
+  std::vector<OrderedHit> out;
+  if (k == 0 || count_ == 0) {
+    return out;
+  }
+  double qnorm = SquaredNormBlocked(query.data(), dim_);
+  BoundedTopK topk(k);
+  for (const IndexShard& shard : shards_) {
+    ScanRowsInto(shard.rows, 0, shard.rows.size(), query.data(), qnorm, shard.orders.data(), 0,
+                 exclude, topk);
+  }
+  for (const Cand& c : topk.DrainCands()) {
+    out.push_back(OrderedHit{c.id, c.dist, c.order});
+  }
+  return out;
+}
+
 // --- IvfL2Index -------------------------------------------------------------
 
 IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, size_t num_shards)
@@ -315,6 +316,19 @@ void IvfL2Index::Add(ChunkId id, const Embedding& v) {
   }
   size_t list = NearestCentroid(v.data());
   lists_[list][ShardOfId(id, num_shards_)].Append(id, v.data(), list_counts_[list]++);
+}
+
+double IvfL2Index::NearestCentroidDistance(const float* v) const {
+  double vnorm = SquaredNormBlocked(v, dim_);
+  DotKernelFn dot = ActiveDotKernel();
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    float d = static_cast<float>(centroids_.norm(c) + vnorm - 2.0 * dot(centroids_.row(c), v, dim_));
+    if (d < best_d) {
+      best_d = d;
+    }
+  }
+  return centroids_.size() == 0 ? 0.0 : std::max(0.0, static_cast<double>(best_d));
 }
 
 size_t IvfL2Index::NearestCentroid(const float* v) const {
@@ -447,6 +461,13 @@ void IvfL2Index::Train(ThreadPool* pool) {
     ChunkId id = staged_.id(i);
     lists_[list][ShardOfId(id, num_shards_)].Append(id, staged_.row(i), list_counts_[list]++);
   }
+  // Train-time centroid fit: the reference point the mutable index compares
+  // newly sealed rows against to detect centroid-quality decay.
+  double assign_dist_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    assign_dist_sum += NearestCentroidDistance(staged_.row(i));
+  }
+  train_mean_assign_dist_ = assign_dist_sum / static_cast<double>(n);
   staged_ = RowPool(dim_);
   trained_ = true;
 }
@@ -524,12 +545,44 @@ std::vector<SearchHit> IvfL2Index::SearchOne(const float* q, size_t k, const Pro
   // total order makes the shard visit order irrelevant.
   BoundedTopK topk(k);
   for (size_t shard = 0; shard < num_shards_; ++shard) {
-    ScanProbedShard(lists_, probes.lists, probes.bases, shard, q, qnorm, topk);
+    ScanProbedShard(lists_, probes.lists, probes.bases, shard, q, qnorm, IdFilter{}, topk);
   }
   if (probes_used != nullptr) {
     *probes_used = probes.lists.size();
   }
   return topk.Drain();
+}
+
+std::vector<OrderedHit> IvfL2Index::SearchOneOrdered(const float* q, size_t k,
+                                                     const ProbePlan& plan,
+                                                     const IdFilter& exclude,
+                                                     uint64_t* probes_used) const {
+  METIS_CHECK(trained_);
+  double qnorm = SquaredNormBlocked(q, dim_);
+  ProbeSet probes = PlanProbes(q, qnorm, plan);
+  BoundedTopK topk(k);
+  for (size_t shard = 0; shard < num_shards_; ++shard) {
+    ScanProbedShard(lists_, probes.lists, probes.bases, shard, q, qnorm, exclude, topk);
+  }
+  if (probes_used != nullptr) {
+    *probes_used = probes.lists.size();
+  }
+  std::vector<OrderedHit> out;
+  for (const Cand& c : topk.DrainCands()) {
+    out.push_back(OrderedHit{c.id, c.dist, c.order});
+  }
+  return out;
+}
+
+std::vector<OrderedHit> IvfL2Index::SearchOrdered(const Embedding& query, size_t k,
+                                                  const RetrievalQuality& quality,
+                                                  const IdFilter& exclude) const {
+  METIS_CHECK_EQ(query.size(), dim_);
+  uint64_t probes = 0;
+  std::vector<OrderedHit> hits =
+      SearchOneOrdered(query.data(), k, ResolveProbe(quality), exclude, &probes);
+  stats_.Record(probes);
+  return hits;
 }
 
 std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k) const {
@@ -610,7 +663,7 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(
       size_t qi = t / nshards;
       size_t shard = t % nshards;
       ScanProbedShard(lists_, sets[qi].lists, sets[qi].bases, shard, queries[qi].data(),
-                      qnorms[qi], heaps[t]);
+                      qnorms[qi], IdFilter{}, heaps[t]);
     }
   };
   if (parallel && nq * nshards > 1) {
@@ -634,9 +687,10 @@ namespace {
 // Query texts repeat across profiler probes, config sweeps, and feedback
 // runs, but the working set per run is modest.
 constexpr size_t kQueryCacheCapacity = 512;
+}  // namespace
 
-std::unique_ptr<VectorIndex> MakeIndex(size_t dim, const RetrievalIndexOptions& options,
-                                       IvfL2Index** ivf_out) {
+std::unique_ptr<VectorIndex> MakeBackendIndex(size_t dim, const RetrievalIndexOptions& options,
+                                              IvfL2Index** ivf_out) {
   *ivf_out = nullptr;
   size_t shards = std::max<size_t>(1, options.shards);
   if (options.backend == RetrievalIndexOptions::Backend::kIvf) {
@@ -648,7 +702,6 @@ std::unique_ptr<VectorIndex> MakeIndex(size_t dim, const RetrievalIndexOptions& 
   }
   return std::make_unique<FlatL2Index>(dim, shards);
 }
-}  // namespace
 
 VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata,
                                RetrievalIndexOptions index_options)
@@ -656,15 +709,26 @@ VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadat
       metadata_(std::move(metadata)),
       index_options_(index_options),
       query_cache_(&embedder_, kQueryCacheCapacity) {
-  // In the body, not the init list: MakeIndex writes ivf_, whose own default
-  // initializer would otherwise run afterwards and null it out again.
-  index_ = MakeIndex(embedder_.dim(), index_options_, &ivf_);
+  // In the body, not the init list: the factory writes ivf_, whose own
+  // default initializer would otherwise run afterwards and null it out again.
+  if (index_options_.mutable_index) {
+    auto mut = std::make_unique<MutableIndex>(embedder_.dim(), index_options_);
+    mutable_ = mut.get();
+    index_ = std::move(mut);
+  } else {
+    index_ = MakeBackendIndex(embedder_.dim(), index_options_, &ivf_);
+  }
+}
+
+const IvfL2Index* VectorDatabase::ivf_index() const {
+  return mutable_ != nullptr ? mutable_->base_ivf() : ivf_;
 }
 
 ChunkId VectorDatabase::AddChunk(Chunk chunk) {
   chunk.id = static_cast<ChunkId>(chunks_.size());
   index_->Add(chunk.id, embedder_.Embed(chunk.text));
   chunks_.push_back(std::move(chunk));
+  deleted_.push_back(false);
   return chunks_.back().id;
 }
 
@@ -686,15 +750,50 @@ std::vector<ChunkId> VectorDatabase::AddChunks(std::vector<Chunk> chunks, Thread
     chunk.id = static_cast<ChunkId>(chunks_.size());
     index_->Add(chunk.id, embeddings[i]);
     chunks_.push_back(std::move(chunk));
+    deleted_.push_back(false);
     ids.push_back(chunks_.back().id);
   }
   return ids;
 }
 
 void VectorDatabase::FinalizeIndex(ThreadPool* pool) {
+  if (mutable_ != nullptr) {
+    mutable_->Finalize(pool);
+    return;
+  }
   if (ivf_ != nullptr && !ivf_->trained() && ivf_->size() > 0) {
     ivf_->Train(pool);
   }
+}
+
+std::vector<ChunkId> VectorDatabase::InsertChunks(std::vector<Chunk> chunks, ThreadPool* pool) {
+  METIS_CHECK(mutable_ != nullptr);
+  // Post-finalize, index_->Add routes into the mutable index's memtable, so
+  // the bulk-load path is exactly the streaming-insert path.
+  return AddChunks(std::move(chunks), pool);
+}
+
+size_t VectorDatabase::DeleteChunks(const std::vector<ChunkId>& ids) {
+  METIS_CHECK(mutable_ != nullptr);
+  size_t deleted = 0;
+  for (ChunkId id : ids) {
+    METIS_CHECK_GE(id, 0);
+    METIS_CHECK_LT(static_cast<size_t>(id), chunks_.size());
+    if (deleted_[static_cast<size_t>(id)]) {
+      continue;
+    }
+    METIS_CHECK(mutable_->Delete(id));
+    deleted_[static_cast<size_t>(id)] = true;
+    ++deleted_count_;
+    ++deleted;
+  }
+  return deleted;
+}
+
+bool VectorDatabase::chunk_live(ChunkId id) const {
+  METIS_CHECK_GE(id, 0);
+  METIS_CHECK_LT(static_cast<size_t>(id), chunks_.size());
+  return !deleted_[static_cast<size_t>(id)];
 }
 
 std::vector<SearchHit> VectorDatabase::RetrieveWithDistances(const std::string& query_text,

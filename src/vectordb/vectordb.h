@@ -97,6 +97,28 @@ struct SearchHit {
   float distance = 0;
 };
 
+// Search hit carrying the backend's candidate order (the (distance, order)
+// tie-break position). The mutable serving index merges base-index hits with
+// memtable/segment hits under that shared total order, so the base has to
+// surface it (see VectorIndex::SearchOrdered and mutable_index.h).
+struct OrderedHit {
+  ChunkId id = -1;
+  float distance = 0;
+  size_t order = 0;
+};
+
+// Non-owning view of a sorted id set excluded from a search (the mutable
+// index's tombstones). Filtering happens *inside* the scan, before top-k
+// selection — post-filtering a top-k would let deleted rows crowd out live
+// ones and break parity with an index built from the live set only.
+struct IdFilter {
+  const ChunkId* begin = nullptr;
+  const ChunkId* end = nullptr;
+
+  bool empty() const { return begin == end; }
+  bool contains(ChunkId id) const { return std::binary_search(begin, end, id); }
+};
+
 // --- Aligned SoA row storage -----------------------------------------------
 
 // Minimal 64-byte-aligned allocator so row starts sit on cache-line (and
@@ -137,6 +159,15 @@ class RowPool {
   // Copies one dim()-length row; the padded tail of the stride is zeroed.
   void Append(ChunkId id, const float* v);
 
+  // Preallocates capacity for `rows` rows. The mutable index's append-only
+  // row log depends on this: a reserved pool never reallocates its arrays, so
+  // rows below a published watermark can be read concurrently with appends.
+  void Reserve(size_t rows) {
+    data_.reserve(rows * stride_);
+    norms_.reserve(rows);
+    ids_.reserve(rows);
+  }
+
   size_t size() const { return ids_.size(); }
   size_t dim() const { return dim_; }
   size_t stride() const { return stride_; }
@@ -168,6 +199,11 @@ struct IndexShard {
   void Append(ChunkId id, const float* v, size_t order) {
     rows.Append(id, v);
     orders.push_back(order);
+  }
+
+  void Reserve(size_t n) {
+    rows.Reserve(n);
+    orders.reserve(n);
   }
 
   RowPool rows;
@@ -253,6 +289,15 @@ class VectorIndex {
   virtual std::vector<std::vector<SearchHit>> SearchBatch(
       const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
       const std::vector<RetrievalQuality>& qualities) const;
+  // Top-k with the backend's candidate orders attached and `exclude` (sorted
+  // tombstoned ids) filtered out before selection. This is the base-index
+  // hook for the mutable serving index (mutable_index.h): its memtable and
+  // segment heaps merge with these hits under the shared (distance, order)
+  // total order. The default maps Search's ranks to orders and only supports
+  // an empty filter; the concrete backends override it with real scans.
+  virtual std::vector<OrderedHit> SearchOrdered(const Embedding& query, size_t k,
+                                                const RetrievalQuality& quality,
+                                                const IdFilter& exclude) const;
   virtual size_t size() const = 0;
 };
 
@@ -280,6 +325,10 @@ class FlatL2Index : public VectorIndex {
   std::vector<std::vector<SearchHit>> SearchBatch(
       const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
       const std::vector<RetrievalQuality>& qualities) const override;
+  // Exact scan with tombstone filtering; orders are global insertion orders.
+  std::vector<OrderedHit> SearchOrdered(const Embedding& query, size_t k,
+                                        const RetrievalQuality& quality,
+                                        const IdFilter& exclude) const override;
   size_t size() const override { return count_; }
   size_t num_shards() const { return shards_.size(); }
 
@@ -321,6 +370,12 @@ class IvfL2Index : public VectorIndex {
   std::vector<std::vector<SearchHit>> SearchBatch(
       const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
       const std::vector<RetrievalQuality>& qualities) const override;
+  // Probed scan with tombstone filtering; orders are the probe-concatenation
+  // positions (the same orders the plain Search selects under). Counts toward
+  // the probe stats exactly like Search.
+  std::vector<OrderedHit> SearchOrdered(const Embedding& query, size_t k,
+                                        const RetrievalQuality& quality,
+                                        const IdFilter& exclude) const override;
   // O(1): a running count maintained by Add()/Train().
   size_t size() const override { return count_; }
 
@@ -338,6 +393,20 @@ class IvfL2Index : public VectorIndex {
   size_t nlist() const { return nlist_; }
   size_t nprobe() const { return nprobe_; }
   size_t num_shards() const { return num_shards_; }
+  uint64_t train_seed() const { return seed_; }
+
+  // Squared L2 distance from `v` to its nearest centroid. The mutable index
+  // samples this over newly sealed segments: when the mean drifts past a
+  // ratio of the train-time mean (below), the centroids no longer describe
+  // the data and a retrain is triggered.
+  double NearestCentroidDistance(const float* v) const;
+  // Mean nearest-centroid distance of the training set, recorded by Train().
+  double train_mean_assign_dist() const { return train_mean_assign_dist_; }
+
+  // Snapshots another index's probe counters into this one. Retrains swap in
+  // a freshly trained IvfL2Index; carrying the counters over keeps
+  // mean_probes / probe_histogram cumulative across the swap.
+  void CopyProbeStatsFrom(const IvfL2Index& other) { stats_ = other.stats_; }
 
   // --- Probe accounting (recall/latency evaluation) ---
   // Relaxed atomics: concurrent const searches on a shared index stay
@@ -389,6 +458,8 @@ class IvfL2Index : public VectorIndex {
   size_t NearestCentroid(const float* v) const;
   std::vector<SearchHit> SearchOne(const float* q, size_t k, const ProbePlan& plan,
                                    uint64_t* probes_used) const;
+  std::vector<OrderedHit> SearchOneOrdered(const float* q, size_t k, const ProbePlan& plan,
+                                           const IdFilter& exclude, uint64_t* probes_used) const;
 
   size_t dim_;
   size_t nlist_;
@@ -397,6 +468,7 @@ class IvfL2Index : public VectorIndex {
   size_t num_shards_;
   bool trained_ = false;
   size_t count_ = 0;
+  double train_mean_assign_dist_ = 0.0;
   AdaptiveProbePolicy adaptive_;
   RowPool centroids_;
   // Pre-train staging area, emptied by Train().
@@ -448,6 +520,33 @@ struct DatabaseMetadata {
   std::string domain;  // e.g. "finance", "meetings", "wiki".
 };
 
+// Knobs for the live-mutation wrapper (MutableIndex, mutable_index.h): the
+// epoch-versioned memtable -> sealed segment -> compaction lifecycle layered
+// over either static backend.
+struct MutableIndexOptions {
+  // Seal the memtable into an immutable segment once it holds this many rows.
+  size_t memtable_rows = 256;
+  // Merge sealed segments into one tombstone-free compacted segment once this
+  // many have accumulated.
+  size_t compact_segments = 8;
+  // Rebuild the base index over the live set once live delta rows (rows not
+  // yet absorbed into the base) exceed this fraction of
+  // max(base live rows, memtable_rows).
+  double retrain_delta_fraction = 0.5;
+  // IVF only: retrain when the mean nearest-centroid distance of newly sealed
+  // rows exceeds this multiple of the base's train-time mean — the measured
+  // centroid-quality-decay threshold.
+  double retrain_distance_ratio = 2.0;
+  // Capacity of the append-only row log (initial corpus + every insert ever;
+  // the log backs concurrent lock-free reads, so it is preallocated).
+  size_t max_rows = size_t{1} << 20;
+  // Run compaction/retrain on the maintenance ThreadPool instead of inline on
+  // the mutating thread. Off by default: the inline path keeps runs
+  // bit-reproducible regardless of maintenance timing, which the parity tests
+  // and benches rely on; the stress test exercises the background path.
+  bool background_maintenance = false;
+};
+
 // Which similarity index a VectorDatabase builds. The paper's experiments
 // default to exact flat search; the IVF backend trades recall for speed via
 // the probe knobs above.
@@ -463,7 +562,20 @@ struct RetrievalIndexOptions {
   size_t nprobe = 8;
   AdaptiveProbePolicy adaptive;
   uint64_t train_seed = 17;
+  // Wrap the backend in the epoch-versioned MutableIndex so the database
+  // accepts InsertChunks/DeleteChunks while serving.
+  bool mutable_index = false;
+  MutableIndexOptions mutation;
 };
+
+// Builds the configured *static* backend (ignores options.mutable_index).
+// Shared by VectorDatabase's index construction and by MutableIndex, which
+// rebuilds its base through this exact factory so a retrained base is
+// bit-identical to a fresh static build over the same rows.
+std::unique_ptr<VectorIndex> MakeBackendIndex(size_t dim, const RetrievalIndexOptions& options,
+                                              IvfL2Index** ivf_out);
+
+class MutableIndex;
 
 // The assembled retrieval database: chunks + embeddings + index + metadata.
 class VectorDatabase {
@@ -487,6 +599,17 @@ class VectorDatabase {
   // (no-op for the flat backend or if already trained); chunks added later
   // assign to the nearest centroid.
   void FinalizeIndex(ThreadPool* pool = nullptr);
+
+  // --- Live mutations (require index_options.mutable_index) ---
+  // Streaming insert after FinalizeIndex: embeds and indexes the chunks into
+  // the mutable index's memtable. Identical id assignment to AddChunks.
+  std::vector<ChunkId> InsertChunks(std::vector<Chunk> chunks, ThreadPool* pool = nullptr);
+  // Tombstones the given chunks; deleted chunks never appear in results
+  // again. Ids must be valid; deleting an already-deleted id is a no-op.
+  // Returns how many chunks this call transitioned from live to deleted.
+  size_t DeleteChunks(const std::vector<ChunkId>& ids);
+  bool chunk_live(ChunkId id) const;
+  size_t num_live_chunks() const { return num_chunks() - deleted_count_; }
 
   // Embeds the query text and returns the top-k chunks, closest first.
   // Query embeddings are memoized (EmbeddingCache), so repeated retrievals of
@@ -521,7 +644,12 @@ class VectorDatabase {
   const RetrievalIndexOptions& index_options() const { return index_options_; }
   const VectorIndex& index() const { return *index_; }
   // Non-null iff the IVF backend is active (probe stats, policy tweaks).
-  const IvfL2Index* ivf_index() const { return ivf_; }
+  // Under a mutable index this is the *current* base — retrains swap the base
+  // and carry the probe counters over, so readings stay cumulative.
+  const IvfL2Index* ivf_index() const;
+  // Non-null iff index_options.mutable_index (lifecycle controls, stats).
+  MutableIndex* mutable_index() { return mutable_; }
+  const MutableIndex* mutable_index() const { return mutable_; }
   size_t query_cache_hits() const { return query_cache_.hits(); }
 
  private:
@@ -529,8 +657,11 @@ class VectorDatabase {
   DatabaseMetadata metadata_;
   RetrievalIndexOptions index_options_;
   std::vector<Chunk> chunks_;
+  std::vector<bool> deleted_;  // Parallel to chunks_.
+  size_t deleted_count_ = 0;
   std::unique_ptr<VectorIndex> index_;
-  IvfL2Index* ivf_ = nullptr;  // Owned by index_ when backend == kIvf.
+  IvfL2Index* ivf_ = nullptr;      // Owned by index_ when backend == kIvf (static).
+  MutableIndex* mutable_ = nullptr;  // Owned by index_ when mutable_index.
   mutable EmbeddingCache query_cache_;
   ThreadPool* search_pool_ = nullptr;
 };

@@ -215,7 +215,9 @@ struct PendingChunk {
 std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
                                                     const std::string& embedding_model_name,
                                                     const RetrievalIndexOptions& index_options) {
-  METIS_CHECK_GT(num_queries, 0);
+  // Zero queries is a valid degenerate corpus (filler chunks only) — the
+  // ingest-only runner specs use it to measure pure write paths.
+  METIS_CHECK_GE(num_queries, 0);
   Rng root(seed_ ^ HashString64(profile_.name));
   Rng structure = root.Fork("structure");
   Rng words = root.Fork("words");

@@ -124,6 +124,11 @@ class Dataset {
 
   const DatasetProfile& profile() const { return profile_; }
   const VectorDatabase& db() const { return *db_; }
+  // Mutable database access for live-ingest runs (insert/delete streams over
+  // a mutable_index backend). Such runs hold a PRIVATE Dataset instance — the
+  // runner bypasses the shared dataset cache whenever the spec can mutate the
+  // database, so cached corpora stay immutable.
+  VectorDatabase& mutable_db() { return *db_; }
   const std::vector<RagQuery>& queries() const { return queries_; }
   std::vector<RagQuery>& mutable_queries() { return queries_; }
   const Fact& fact(int32_t id) const;

@@ -117,6 +117,36 @@ TEST_F(IvfIndexTest, SizeIsMaintainedAcrossStagingTrainingAndAdds) {
   EXPECT_EQ(ivf.size(), 52u);
 }
 
+TEST(IvfIndexTest2, ProbeHistogramClampsDeepScansIntoLastBucket) {
+  // nlist wider than the histogram (70 > 65 buckets): a full-width probe must
+  // clamp into the last bucket — never index past the array — while the raw
+  // probes_issued() tally stays exact.
+  constexpr size_t kNlist = IvfL2Index::kProbeHistogramBuckets + 5;
+  IvfL2Index ivf(2, kNlist, /*nprobe=*/1, /*seed=*/99);
+  Rng rng(11);
+  for (int i = 0; i < 280; ++i) {
+    ivf.Add(i, MakeVec({static_cast<float>(rng.Uniform(0.0, 10.0)),
+                        static_cast<float>(rng.Uniform(0.0, 10.0))}));
+  }
+  ivf.Train();
+
+  RetrievalQuality full;
+  full.mode = RetrievalQuality::ProbeMode::kFixed;
+  full.nprobe = kNlist;
+  ASSERT_FALSE(ivf.Search(MakeVec({5.0f, 5.0f}), 3, full).empty());
+
+  std::vector<uint64_t> hist = ivf.probe_histogram();
+  ASSERT_EQ(hist.size(), IvfL2Index::kProbeHistogramBuckets);
+  EXPECT_EQ(hist.back(), 1u);
+  uint64_t below_clamp = 0;
+  for (size_t b = 0; b + 1 < hist.size(); ++b) {
+    below_clamp += hist[b];
+  }
+  EXPECT_EQ(below_clamp, 0u);
+  EXPECT_EQ(ivf.searches(), 1u);
+  EXPECT_EQ(ivf.probes_issued(), kNlist);
+}
+
 TEST(IvfIndexDeathTest, SearchBeforeTrainAborts) {
   IvfL2Index ivf(2, 2, 1, 1);
   ivf.Add(0, MakeVec({0.0f, 0.0f}));

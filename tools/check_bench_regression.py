@@ -82,7 +82,10 @@ def main():
     args = parser.parse_args()
 
     if args.update:
-        load_records(args.current, "current")  # Validate before overwriting the baseline.
+        # Validate before overwriting the baseline, and say exactly what got
+        # rewritten — a chained -update sweep over several benches should
+        # leave an audit trail of which baselines actually moved.
+        bench_cur, current = load_records(args.current, "current")
         try:
             baseline_dir = os.path.dirname(args.baseline)
             if baseline_dir:
@@ -91,7 +94,8 @@ def main():
         except OSError as e:
             print(f"error: cannot update baseline {args.baseline}: {e}", file=sys.stderr)
             return 2
-        print(f"baseline updated: {args.current} -> {args.baseline}")
+        print(f"baseline updated: {args.current} -> {args.baseline} "
+              f"(bench {bench_cur!r}, {len(current)} records)")
         return 0
 
     bench_cur, current = load_records(args.current, "current")
