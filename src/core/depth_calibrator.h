@@ -60,6 +60,18 @@ struct DepthCalibratorOptions {
   bool adaptive = true;
   // Copied into the fitted options (confidence fallback threshold).
   double min_confidence = 0.5;
+  // Scan-tier sweep (the third calibration axis, tier x rerank x budget):
+  // after the budget line is fitted, every (tier_grid x rerank_grid) pair is
+  // re-measured on the holdout AT the fitted per-piece budgets, and the
+  // cheapest tier (RetrievalPrecisionCost) whose mean gold coverage stays
+  // within tier_coverage_tolerance of fp32's is written into the fitted
+  // options. An empty tier_grid (the default) skips the sweep entirely —
+  // the calibrator stays bit-identical to the budget-only version — as does
+  // a dataset whose index never built quantized mirrors. rerank_grid empty
+  // = {0} (the tier-default over-fetch).
+  std::vector<RetrievalPrecision> tier_grid;
+  std::vector<size_t> rerank_grid;
+  double tier_coverage_tolerance = 0.0;
 };
 
 class DepthCalibrator {

@@ -11,6 +11,8 @@ RetrievalQuality RetrievalQualityFromOptions(const JointSchedulerOptions& option
   quality.mode = options.adaptive_nprobe ? RetrievalQuality::ProbeMode::kAdaptive
                                          : RetrievalQuality::ProbeMode::kFixed;
   quality.nprobe = options.nprobe_budget;
+  quality.precision = options.precision;
+  quality.rerank_factor = options.rerank_factor;
   return quality;
 }
 

@@ -23,7 +23,14 @@
 //                            synthesis config (map_rerank, few chunks — small
 //                            per-call KV footprints the engine can admit
 //                            piecewise);
-//   rung 3, kReject:         stop admitting the lowest-priority classes, with
+//   rung 3, kShedPrecision:  drop the retrieval scan tier to a quantized
+//                            mirror (int8 / PQ with exact rerank, quantize.h)
+//                            — cheaper candidate generation before the ladder
+//                            starts refusing queries. Only ever moves a query
+//                            to a LOWER-cost tier, and is inert unless the
+//                            index built the mirror (and the default shed
+//                            tier is fp32, i.e. the rung is opt-in);
+//   rung 4, kReject:         stop admitting the lowest-priority classes, with
 //                            a deterministic exponential backoff that still
 //                            lets a probing trickle through so recovery is
 //                            observed without re-opening the floodgates.
@@ -42,6 +49,7 @@
 
 #include "src/llm/engine.h"
 #include "src/synthesis/config.h"
+#include "src/vectordb/vectordb.h"
 
 namespace metis {
 
@@ -66,7 +74,8 @@ enum class OverloadLevel {
   kNone = 0,
   kShedDepth = 1,
   kCheapSynthesis = 2,
-  kReject = 3,
+  kShedPrecision = 3,
+  kReject = 4,
 };
 
 const char* OverloadLevelName(OverloadLevel level);
@@ -93,6 +102,7 @@ struct OverloadOptions {
   // Rung thresholds on the pressure score (ascending).
   double shed_depth_at = 0.75;
   double cheap_synthesis_at = 1.5;
+  double shed_precision_at = 2.0;
   double reject_at = 2.5;
 
   // Rung 1: probe-budget cap while at kShedDepth or higher (0 disables the
@@ -102,7 +112,16 @@ struct OverloadOptions {
   // kCheapSynthesis or higher. num_chunks is a cap — degradation never
   // *increases* work over the scheduler's own choice.
   RagConfig cheap_config{SynthesisMethod::kMapRerank, 3, 0};
-  // Rung 3: classes with priority >= protect_priority are never rejected.
+  // Rung 3: the scan tier queries are dropped to while at kShedPrecision or
+  // higher, when it is CHEAPER than the scheduler's choice
+  // (RetrievalPrecisionCost — shedding never upgrades a query). The default
+  // kFp32 makes the rung a no-op, preserving the three-rung ladder's
+  // behaviour bit-for-bit; deployments with quantized mirrors opt in with
+  // kInt8 or kPq. shed_rerank_factor overrides the over-fetch multiple for
+  // shed queries (0 = the tier default).
+  RetrievalPrecision shed_precision = RetrievalPrecision::kFp32;
+  size_t shed_rerank_factor = 0;
+  // Rung 4: classes with priority >= protect_priority are never rejected.
   int protect_priority = 1;
   // Deterministic admission backoff while at kReject: an unprotected class
   // admits one query, then rejects `stride - 1`, with the stride doubling
@@ -118,6 +137,7 @@ struct OverloadStats {
   uint64_t rejected = 0;
   uint64_t depth_shed = 0;           // Decisions taken at rung >= kShedDepth.
   uint64_t synthesis_degraded = 0;   // Decisions taken at rung >= kCheapSynthesis.
+  uint64_t precision_shed = 0;       // Decisions taken at rung >= kShedPrecision.
   int max_level = 0;                 // Highest rung ever assessed.
   double peak_pressure = 0;
 };
@@ -151,6 +171,7 @@ class OverloadController {
   // cannot see whether a decision point actually executed its clamp).
   void NoteDepthShed() { ++stats_.depth_shed; }
   void NoteSynthesisDegraded() { ++stats_.synthesis_degraded; }
+  void NotePrecisionShed() { ++stats_.precision_shed; }
 
   // Profiler-confidence signal (EWMA over recent profiles): recorded so the
   // ladder's depth rung can be audited against the §5 fallback pressure —

@@ -197,6 +197,7 @@ void MetisSystem::Accept(const RagQuery& query) {
     OverloadLevel decision_level = OverloadLevel::kNone;
     bool depth_shed = false;
     bool synthesis_degraded = false;
+    bool precision_shed = false;
     if (overload_ != nullptr) {
       overload_->ObserveConfidence(outcome.profile.confidence);
       decision_level = overload_->Assess();
@@ -214,6 +215,23 @@ void MetisSystem::Accept(const RagQuery& query) {
           overload_->NoteSynthesisDegraded();
         }
       }
+      if (decision_level >= OverloadLevel::kShedPrecision) {
+        // Rung 3: move candidate generation onto a quantized mirror. Only a
+        // strictly cheaper tier is ever applied (RetrievalPrecisionCost), so
+        // the default fp32 shed tier makes this rung a no-op, and an index
+        // without the mirror serves the shed tier exactly anyway
+        // (ResolveTier) — degraded, never wrong.
+        RetrievalPrecision shed = overload_->options().shed_precision;
+        if (RetrievalPrecisionCost(shed) <
+            RetrievalPrecisionCost(decision.retrieval.precision)) {
+          decision.retrieval.precision = shed;
+          if (overload_->options().shed_rerank_factor > 0) {
+            decision.retrieval.rerank_factor = overload_->options().shed_rerank_factor;
+          }
+          precision_shed = true;
+          overload_->NotePrecisionShed();
+        }
+      }
       if (decision_level >= OverloadLevel::kShedDepth &&
           overload_->options().shed_probe_budget > 0) {
         RetrievalQuality clamped = RetrievalDepthPolicy::ClampToBudget(
@@ -228,8 +246,8 @@ void MetisSystem::Accept(const RagQuery& query) {
     }
 
     executor_->Execute(query, decision.config, decision.retrieval,
-                       [this, query, arrival, outcome, decision, low_confidence,
-                        decision_level, depth_shed, synthesis_degraded](RagResult result) {
+                       [this, query, arrival, outcome, decision, low_confidence, decision_level,
+                        depth_shed, synthesis_degraded, precision_shed](RagResult result) {
       QueryRecord rec = MakeRecord("metis", query, decision.config, arrival, sim_->now(),
                                    std::move(result));
       rec.retrieval_quality = decision.retrieval;
@@ -242,6 +260,7 @@ void MetisSystem::Accept(const RagQuery& query) {
       rec.overload_level = static_cast<int>(decision_level);
       rec.depth_shed = depth_shed;
       rec.synthesis_degraded = synthesis_degraded;
+      rec.precision_shed = precision_shed;
       sink_(std::move(rec));
     });
   });

@@ -57,6 +57,7 @@ struct QueryRecord {
   int overload_level = 0;      // Ladder rung at this query's decision point.
   bool depth_shed = false;     // Rung 1 applied: retrieval budget clamped.
   bool synthesis_degraded = false;  // Rung 2 applied: cheap synthesis config.
+  bool precision_shed = false;      // Rung 3 applied: quantized scan tier.
 };
 
 using RecordSink = std::function<void(QueryRecord)>;

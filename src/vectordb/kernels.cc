@@ -60,6 +60,34 @@ double DotScalar(const float* a, const float* b, size_t n) {
   return (((acc0 + acc4) + (acc2 + acc6)) + ((acc1 + acc5) + (acc3 + acc7))) + tail;
 }
 
+// --- Scalar u8 tier ----------------------------------------------------------
+//
+// The quantized kernel's bit-defining reference: sixteen float chains
+// (element i -> chain i mod 16), each element contributing
+// round(f32(code) * w) via a separate multiply and add (-ffp-contract=off
+// forbids contraction here too). The reduction first folds chain j+8 into
+// chain j — exactly the AVX-512 tier's zmm -> ymm halving step — then runs
+// the same eight-partial tree as the fp32 kernel, then adds the float tail.
+float DotU8F32Scalar(const uint8_t* codes, const float* w, size_t n) {
+  float acc[16] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (size_t j = 0; j < 16; ++j) {
+      acc[j] += static_cast<float>(codes[i + j]) * w[i + j];
+    }
+  }
+  float s8[8];
+  for (size_t j = 0; j < 8; ++j) {
+    s8[j] = acc[j] + acc[j + 8];
+  }
+  float sum = ((s8[0] + s8[4]) + (s8[2] + s8[6])) + ((s8[1] + s8[5]) + (s8[3] + s8[7]));
+  float tail = 0;
+  for (; i < n; ++i) {
+    tail += static_cast<float>(codes[i]) * w[i];
+  }
+  return sum + tail;
+}
+
 #if METIS_KERNELS_X86
 
 // GCC's _mm512_cvtps_pd / _mm512_extractf64x4_pd expand through
@@ -123,6 +151,123 @@ __attribute__((target("avx512f"))) double DotAvx512(const float* a, const float*
   return sum + tail;
 }
 
+// --- AVX2 u8 tier -----------------------------------------------------------
+//
+// lo holds chains 0..7, hi holds chains 8..15. Each 16-element step loads 16
+// codes, zero-extends 8+8 to i32, converts to f32 (both conversions exact for
+// u8 values), and does one mul_ps + add_ps per half. The lo+hi fold in the
+// reduction is the scalar tier's s8[j] = acc[j] + acc[j+8].
+__attribute__((target("avx2"))) float DotU8F32Avx2(const uint8_t* codes, const float* w,
+                                                   size_t n) {
+  __m256 lo = _mm256_setzero_ps();  // Chains 0..7.
+  __m256 hi = _mm256_setzero_ps();  // Chains 8..15.
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    __m256 c_lo = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw));
+    __m256 c_hi = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128(raw, 8)));
+    lo = _mm256_add_ps(lo, _mm256_mul_ps(c_lo, _mm256_loadu_ps(w + i)));
+    hi = _mm256_add_ps(hi, _mm256_mul_ps(c_hi, _mm256_loadu_ps(w + i + 8)));
+  }
+  // s8 = lo + hi; halve twice more and the scalar tree falls out.
+  __m256 s8 = _mm256_add_ps(lo, hi);
+  __m128 s4 = _mm_add_ps(_mm256_castps256_ps128(s8), _mm256_extractf128_ps(s8, 1));
+  __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+  float sum = _mm_cvtss_f32(_mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1)));
+  float tail = 0;
+  for (; i < n; ++i) {
+    tail += static_cast<float>(codes[i]) * w[i];
+  }
+  return sum + tail;
+}
+
+// --- AVX-512 u8 tier --------------------------------------------------------
+//
+// One zmm accumulator holds all sixteen chains; the zmm -> ymm halving step
+// is the scalar tier's acc[j] + acc[j+8] fold, then the same tree as AVX2.
+// (extractf64x4 + casts instead of extractf32x8: the latter needs AVX512DQ
+// and this kernel only assumes AVX512F.)
+__attribute__((target("avx512f"))) float DotU8F32Avx512(const uint8_t* codes, const float* w,
+                                                        size_t n) {
+  __m512 acc = _mm512_setzero_ps();  // Lane j = chain j.
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    __m512 c = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(raw));
+    acc = _mm512_add_ps(acc, _mm512_mul_ps(c, _mm512_loadu_ps(w + i)));
+  }
+  __m256 s8 = _mm256_add_ps(
+      _mm512_castps512_ps256(acc),
+      _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(acc), 1)));
+  __m128 s4 = _mm_add_ps(_mm256_castps256_ps128(s8), _mm256_extractf128_ps(s8, 1));
+  __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+  float sum = _mm_cvtss_f32(_mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1)));
+  float tail = 0;
+  for (; i < n; ++i) {
+    tail += static_cast<float>(codes[i]) * w[i];
+  }
+  return sum + tail;
+}
+
+// --- fast_math u8 variants ---------------------------------------------------
+//
+// Opt-in only (see kernels.h): FMA contraction and doubled ILP, no fixed
+// chain structure — NOT bit-stable across tiers or CPUs. Safe for quantized
+// candidate generation only because the exact rerank tail re-scores.
+__attribute__((target("avx2,fma"))) float DotU8F32FastAvx2(const uint8_t* codes, const float* w,
+                                                           size_t n) {
+  __m256 a0 = _mm256_setzero_ps();
+  __m256 a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps();
+  __m256 a3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + 16));
+    a0 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(r0)),
+                         _mm256_loadu_ps(w + i), a0);
+    a1 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128(r0, 8))),
+                         _mm256_loadu_ps(w + i + 8), a1);
+    a2 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(r1)),
+                         _mm256_loadu_ps(w + i + 16), a2);
+    a3 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128(r1, 8))),
+                         _mm256_loadu_ps(w + i + 24), a3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m128i raw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i));
+    a0 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw)), _mm256_loadu_ps(w + i),
+                         a0);
+  }
+  __m256 s = _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3));
+  __m128 s4 = _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
+  __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+  float sum = _mm_cvtss_f32(_mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1)));
+  for (; i < n; ++i) {
+    sum += static_cast<float>(codes[i]) * w[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx512f"))) float DotU8F32FastAvx512(const uint8_t* codes, const float* w,
+                                                            size_t n) {
+  __m512 a0 = _mm512_setzero_ps();
+  __m512 a1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + 16));
+    a0 = _mm512_fmadd_ps(_mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(r0)), _mm512_loadu_ps(w + i),
+                         a0);
+    a1 = _mm512_fmadd_ps(_mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(r1)),
+                         _mm512_loadu_ps(w + i + 16), a1);
+  }
+  float sum = _mm512_reduce_add_ps(_mm512_add_ps(a0, a1));
+  for (; i < n; ++i) {
+    sum += static_cast<float>(codes[i]) * w[i];
+  }
+  return sum;
+}
+
 #pragma GCC diagnostic pop
 
 #endif  // METIS_KERNELS_X86
@@ -140,6 +285,33 @@ DotKernelFn KernelForTarget(KernelTarget target) {
     default:
       return &DotScalar;
   }
+}
+
+U8DotKernelFn U8KernelForTarget(KernelTarget target, bool fast_math) {
+#if METIS_KERNELS_X86
+  switch (target) {
+    case KernelTarget::kAvx2:
+      if (fast_math && __builtin_cpu_supports("fma") != 0) {
+        return &DotU8F32FastAvx2;
+      }
+      return &DotU8F32Avx2;
+    case KernelTarget::kAvx512:
+      // AVX-512F implies FMA support in practice; the fast variant only
+      // assumes avx512f.
+      return fast_math ? &DotU8F32FastAvx512 : &DotU8F32Avx512;
+    default:
+      break;
+  }
+#else
+  (void)target;
+#endif
+  (void)fast_math;  // The scalar tier has no relaxed variant worth keeping.
+  return &DotU8F32Scalar;
+}
+
+bool DefaultFastMath() {
+  const char* env = std::getenv("METIS_KERNEL_FAST_MATH");
+  return env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0';
 }
 
 KernelTarget DefaultTarget() {
@@ -163,11 +335,16 @@ KernelTarget DefaultTarget() {
 struct Dispatch {
   std::atomic<KernelTarget> target;
   std::atomic<DotKernelFn> fn;
+  std::atomic<U8DotKernelFn> u8fn;
+  std::atomic<bool> fast_math;
 
   Dispatch() {
     KernelTarget t = DefaultTarget();
+    bool fast = DefaultFastMath();
     target.store(t, std::memory_order_relaxed);
     fn.store(KernelForTarget(t), std::memory_order_relaxed);
+    u8fn.store(U8KernelForTarget(t, fast), std::memory_order_relaxed);
+    fast_math.store(fast, std::memory_order_relaxed);
   }
 };
 
@@ -235,10 +412,14 @@ bool SetKernelTarget(KernelTarget target) {
   }
   dispatch().target.store(target, std::memory_order_relaxed);
   dispatch().fn.store(KernelForTarget(target), std::memory_order_relaxed);
+  dispatch().u8fn.store(
+      U8KernelForTarget(target, dispatch().fast_math.load(std::memory_order_relaxed)),
+      std::memory_order_relaxed);
   return true;
 }
 
 void ResetKernelTarget() {
+  SetKernelFastMath(DefaultFastMath());
   METIS_CHECK(SetKernelTarget(DefaultTarget()));
 }
 
@@ -254,5 +435,26 @@ double DotBlockedTarget(KernelTarget target, const float* a, const float* b, siz
 }
 
 DotKernelFn ActiveDotKernel() { return dispatch().fn.load(std::memory_order_relaxed); }
+
+float DotU8F32(const uint8_t* codes, const float* w, size_t n) {
+  return dispatch().u8fn.load(std::memory_order_relaxed)(codes, w, n);
+}
+
+float DotU8F32Target(KernelTarget target, bool fast_math, const uint8_t* codes, const float* w,
+                     size_t n) {
+  METIS_CHECK(KernelTargetSupported(target));
+  return U8KernelForTarget(target, fast_math)(codes, w, n);
+}
+
+U8DotKernelFn ActiveU8DotKernel() { return dispatch().u8fn.load(std::memory_order_relaxed); }
+
+bool KernelFastMathEnabled() { return dispatch().fast_math.load(std::memory_order_relaxed); }
+
+void SetKernelFastMath(bool enabled) {
+  dispatch().fast_math.store(enabled, std::memory_order_relaxed);
+  dispatch().u8fn.store(
+      U8KernelForTarget(dispatch().target.load(std::memory_order_relaxed), enabled),
+      std::memory_order_relaxed);
+}
 
 }  // namespace metis

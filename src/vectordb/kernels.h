@@ -28,11 +28,32 @@
 //   - env METIS_KERNEL_TARGET=scalar|avx2|avx512 (consulted at first use);
 //   - SetKernelTarget() at runtime (tests and benches force each tier).
 // Forcing an unsupported tier fails and leaves the active tier unchanged.
+//
+// Quantized kernel (int8 scalar-quantized tier, quantize.h): DotU8F32 is the
+// asymmetric widening-multiply dot — uint8 row codes x a precomputed fp32
+// per-query weight vector — accumulated in FLOAT across SIXTEEN chains
+// (element i -> chain i mod 16). Same determinism recipe as the fp32 kernel,
+// one level wider: every tier converts code u8 -> f32 exactly, multiplies and
+// adds with separate roundings, folds chain j into chain j-8 first (the
+// AVX-512 zmm halving step), then reduces eight partials through the fixed
+// tree ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7)) and adds the scalar tail — so
+// the returned float is bit-identical on every tier. Sixteen float chains is
+// what a 16-lane f32 SIMD register imposes; float accumulation is fine here
+// because the result only ranks *candidates* for the exact fp32 rerank tail.
+//
+// fast_math mode (explicit opt-in; OFF by default): relaxed variants of the
+// quantized kernel only — FMA contraction and wider ILP, no fixed chain
+// structure, results may differ from the strict tiers in the last ulps. The
+// exact fp32 kernel is never relaxed (it defines stored norms and final
+// rankings). Enable via SetKernelFastMath(true) or METIS_KERNEL_FAST_MATH=1.
+// Because the rerank tail re-scores candidates exactly, fast_math can only
+// perturb *which* candidates get reranked, never the ordering of survivors.
 
 #ifndef METIS_SRC_VECTORDB_KERNELS_H_
 #define METIS_SRC_VECTORDB_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace metis {
 
@@ -89,6 +110,32 @@ double DotBlockedTarget(KernelTarget target, const float* a, const float* b, siz
 // per-call dispatch load.
 using DotKernelFn = double (*)(const float*, const float*, size_t);
 DotKernelFn ActiveDotKernel();
+
+// --- Quantized (u8 x f32) kernel --------------------------------------------
+
+// Widening dot between uint8 row codes and a float weight vector, accumulated
+// in float across sixteen chains (header comment above). Strict tiers are
+// bit-identical across dispatch targets; with fast_math enabled the result
+// may differ in the last ulps (and between CPUs), which the exact rerank
+// tail absorbs.
+float DotU8F32(const uint8_t* codes, const float* w, size_t n);
+
+// Runs a specific tier's strict or fast variant, bypassing dispatch (parity
+// tests). Aborts if the tier is unsupported on this CPU; a fast variant falls
+// back to the tier's strict kernel when the CPU lacks FMA.
+float DotU8F32Target(KernelTarget target, bool fast_math, const uint8_t* codes, const float* w,
+                     size_t n);
+
+// The active u8 kernel's raw function pointer (quantized scan loops fetch it
+// once per scan, like ActiveDotKernel).
+using U8DotKernelFn = float (*)(const uint8_t*, const float*, size_t);
+U8DotKernelFn ActiveU8DotKernel();
+
+// fast_math switch for the quantized kernels (never the exact fp32 kernel).
+// Startup default comes from METIS_KERNEL_FAST_MATH=1; strict otherwise.
+// Like SetKernelTarget, not synchronized with in-flight searches.
+bool KernelFastMathEnabled();
+void SetKernelFastMath(bool enabled);
 
 }  // namespace metis
 

@@ -56,6 +56,21 @@ RecallEval::RecallEval(const FlatL2Index& truth, std::vector<Embedding> queries,
   truth_ = truth.SearchBatch(queries_, k_, pool);
 }
 
+RecallEval::RecallEval(std::vector<Embedding> queries, size_t k,
+                       std::vector<std::vector<SearchHit>> truth)
+    : k_(k), queries_(std::move(queries)), truth_(std::move(truth)) {
+  METIS_CHECK_GT(k, 0u);
+  METIS_CHECK_EQ(queries_.size(), truth_.size());
+}
+
+RecallEval RecallEval::FromExactSearch(const VectorIndex& index, std::vector<Embedding> queries,
+                                       size_t k, ThreadPool* pool,
+                                       const RetrievalQuality& quality) {
+  METIS_CHECK_GT(k, 0u);
+  std::vector<std::vector<SearchHit>> truth = index.SearchBatch(queries, k, pool, quality);
+  return RecallEval(std::move(queries), k, std::move(truth));
+}
+
 double RecallEval::Evaluate(const VectorIndex& index, ThreadPool* pool,
                             const RetrievalQuality& quality) const {
   return RecallAtK(index.SearchBatch(queries_, k_, pool, quality), truth_);

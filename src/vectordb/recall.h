@@ -39,6 +39,22 @@ class RecallEval {
   RecallEval(const FlatL2Index& truth, std::vector<Embedding> queries, size_t k,
              ThreadPool* pool = nullptr);
 
+  // Wraps precomputed ground truth directly — the cheap path for sweeps that
+  // evaluate many configurations (probe grids, quantized tiers, rerank
+  // factors) over ONE corpus: compute truth once, share it across every
+  // grid cell instead of re-running (or worse, rebuilding) the O(n·q) flat
+  // scan per cell. `truth[i]` is the exact top-k for `queries[i]`.
+  RecallEval(std::vector<Embedding> queries, size_t k,
+             std::vector<std::vector<SearchHit>> truth);
+
+  // Ground truth from an EXISTING index's own exact path — no flat-index
+  // rebuild of a corpus that is already resident. `quality` must make the
+  // sweep exact: the default fp32 quality is exact on the flat and mutable
+  // backends; for IVF pass a fixed full-probe override (nprobe >= nlist).
+  static RecallEval FromExactSearch(const VectorIndex& index, std::vector<Embedding> queries,
+                                    size_t k, ThreadPool* pool = nullptr,
+                                    const RetrievalQuality& quality = {});
+
   // Recall@k of `index` over the eval's query set, under the index's own
   // probe policy or an explicit quality override (IVF only; other indexes
   // ignore `quality`).

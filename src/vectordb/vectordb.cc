@@ -9,6 +9,7 @@
 #include "src/common/rng.h"
 #include "src/vectordb/kernels.h"
 #include "src/vectordb/mutable_index.h"
+#include "src/vectordb/quantize.h"
 #include "src/vectordb/topk.h"
 
 namespace metis {
@@ -133,6 +134,48 @@ void ScanRowsInto(const RowPool& pool, size_t begin, size_t end, const float* q,
   }
 }
 
+const char* RetrievalPrecisionName(RetrievalPrecision p) {
+  switch (p) {
+    case RetrievalPrecision::kFp32:
+      return "fp32";
+    case RetrievalPrecision::kInt8:
+      return "int8";
+    case RetrievalPrecision::kPq:
+      return "pq";
+  }
+  return "unknown";
+}
+
+// The rerank tail's scorer (declared in quantize.h): the exact decomposition
+// with the same combine and clamp as ScanRowsImpl, defined in this TU so the
+// exact distance has a single codegen.
+float ExactRowDistance(const RowPool& pool, size_t row, const float* q, double qnorm) {
+  DotKernelFn dot = ActiveDotKernel();
+  float d = static_cast<float>(pool.norm(row) + qnorm - 2.0 * dot(pool.row(row), q, pool.dim()));
+  return d < 0.0f ? 0.0f : d;
+}
+
+// Exact scan into a quantized-candidate heap (declared in quantize.h): the
+// ScanRowsImpl loop with candidates marked pool == nullptr so the rerank tail
+// passes them through. Lives here for the same single-codegen reason.
+void ScanRowsExactInto(const RowPool& pool, size_t begin, size_t end, const float* q,
+                       double qnorm, const size_t* orders, size_t base, const IdFilter& exclude,
+                       BoundedQuantTopK& out) {
+  size_t dim = pool.dim();
+  DotKernelFn dot = ActiveDotKernel();
+  bool filtered = !exclude.empty();
+  for (size_t i = begin; i < end; ++i) {
+    if (filtered && exclude.contains(pool.id(i))) {
+      continue;
+    }
+    float d = static_cast<float>(pool.norm(i) + qnorm - 2.0 * dot(pool.row(i), q, dim));
+    if (d < 0.0f) {
+      d = 0.0f;
+    }
+    out.Offer(d, base + orders[i], pool.id(i), nullptr, 0);
+  }
+}
+
 // --- VectorIndex default batch ----------------------------------------------
 
 std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
@@ -174,11 +217,26 @@ std::vector<OrderedHit> VectorIndex::SearchOrdered(const Embedding& query, size_
   return out;
 }
 
+std::vector<QuantCand> VectorIndex::SearchQuantCandidates(const Embedding& query, size_t fetch_k,
+                                                          const RetrievalQuality& quality,
+                                                          const IdFilter& exclude) const {
+  // Backends without quantized mirrors serve exact candidates: distances are
+  // already final, so rerank passes them through (pool == nullptr).
+  std::vector<OrderedHit> hits = SearchOrdered(query, fetch_k, quality, exclude);
+  std::vector<QuantCand> out;
+  out.reserve(hits.size());
+  for (const OrderedHit& h : hits) {
+    out.push_back(QuantCand{h.distance, h.order, h.id, nullptr, 0});
+  }
+  return out;
+}
+
 // --- FlatL2Index ------------------------------------------------------------
 
-FlatL2Index::FlatL2Index(size_t dim, size_t num_shards) : dim_(dim) {
+FlatL2Index::FlatL2Index(size_t dim, size_t num_shards, QuantizationOptions quant) : dim_(dim) {
   METIS_CHECK_GT(dim, 0u);
   METIS_CHECK_GT(num_shards, 0u);
+  qopts_ = quant;
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.emplace_back(dim);
@@ -263,11 +321,76 @@ std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(const std::vector<E
   return results;
 }
 
+std::vector<SearchHit> FlatL2Index::Search(const Embedding& query, size_t k,
+                                           const RetrievalQuality& quality) const {
+  RetrievalPrecision tier = ResolveTier(quality, quantizers());
+  if (tier == RetrievalPrecision::kFp32) {
+    // Exact path: byte-for-byte the quality-less search.
+    return Search(query, k);
+  }
+  METIS_CHECK_EQ(query.size(), dim_);
+  if (k == 0 || count_ == 0) {
+    return {};
+  }
+  size_t fetch = k * ResolveRerankFactor(quality);
+  std::vector<QuantCand> cands = SearchQuantCandidates(query, fetch, quality, IdFilter{});
+  double qnorm = SquaredNormBlocked(query.data(), dim_);
+  return RerankToHits(std::move(cands), query.data(), qnorm, k);
+}
+
+std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(
+    const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
+    const RetrievalQuality& quality) const {
+  return SearchBatch(queries, k, pool, std::vector<RetrievalQuality>(queries.size(), quality));
+}
+
 std::vector<std::vector<SearchHit>> FlatL2Index::SearchBatch(
     const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
     const std::vector<RetrievalQuality>& qualities) const {
   METIS_CHECK_EQ(qualities.size(), queries.size());
-  return SearchBatch(queries, k, pool);
+  std::vector<size_t> quant_idx;  // Queries resolving to a quantized tier.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (ResolveTier(qualities[i], quantizers()) != RetrievalPrecision::kFp32) {
+      quant_idx.push_back(i);
+    }
+  }
+  if (quant_idx.empty()) {
+    // All-exact group: the shared shard-major sweep, bit-identical to the
+    // pre-quantization index.
+    return SearchBatch(queries, k, pool);
+  }
+  // Mixed group: the exact subset still rides the shared sweep; quantized
+  // queries fan out per query across the pool. Either way results[i] is
+  // bit-identical to Search(queries[i], k, qualities[i]).
+  std::vector<std::vector<SearchHit>> results(queries.size());
+  std::vector<Embedding> exact_q;
+  std::vector<size_t> exact_idx;
+  for (size_t i = 0, qj = 0; i < queries.size(); ++i) {
+    if (qj < quant_idx.size() && quant_idx[qj] == i) {
+      ++qj;
+      continue;
+    }
+    exact_idx.push_back(i);
+    exact_q.push_back(queries[i]);
+  }
+  if (!exact_q.empty()) {
+    std::vector<std::vector<SearchHit>> exact_res = SearchBatch(exact_q, k, pool);
+    for (size_t j = 0; j < exact_idx.size(); ++j) {
+      results[exact_idx[j]] = std::move(exact_res[j]);
+    }
+  }
+  auto quant_sweep = [&](size_t b, size_t e) {
+    for (size_t t = b; t < e; ++t) {
+      size_t qi = quant_idx[t];
+      results[qi] = Search(queries[qi], k, qualities[qi]);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && quant_idx.size() > 1) {
+    pool->ParallelFor(quant_idx.size(), quant_sweep);
+  } else {
+    quant_sweep(0, quant_idx.size());
+  }
+  return results;
 }
 
 std::vector<OrderedHit> FlatL2Index::SearchOrdered(const Embedding& query, size_t k,
@@ -291,9 +414,95 @@ std::vector<OrderedHit> FlatL2Index::SearchOrdered(const Embedding& query, size_
   return out;
 }
 
+namespace {
+// Quantizer training seed for backends without their own (the flat index);
+// matches RetrievalIndexOptions::train_seed's default.
+constexpr uint64_t kQuantTrainSeed = 17;
+}  // namespace
+
+bool FlatL2Index::BuildQuantizedMirrors() {
+  if (!qopts_.any() || count_ == 0) {
+    return false;
+  }
+  // Train over rows in global insertion order (shard.orders maps each shard
+  // row back to its single-shard position), so the trained quantizers — and
+  // therefore quantized rankings — are invariant to the shard count.
+  std::vector<const float*> rows(count_, nullptr);
+  for (const IndexShard& shard : shards_) {
+    for (size_t i = 0; i < shard.rows.size(); ++i) {
+      rows[shard.orders[i]] = shard.rows.row(i);
+    }
+  }
+  auto accessor = [&rows](size_t i) { return rows[i]; };
+  quantizers_ = TrainQuantizers(accessor, rows.size(), dim_, qopts_, kQuantTrainSeed);
+  qcodes_.assign(shards_.size(), QuantizedCodes{});
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    EncodeRows(quantizers_, shards_[s].rows, 0, shards_[s].rows.size(), &qcodes_[s]);
+  }
+  quantized_ = true;
+  return true;
+}
+
+std::vector<QuantCand> FlatL2Index::SearchQuantCandidates(const Embedding& query, size_t fetch_k,
+                                                          const RetrievalQuality& quality,
+                                                          const IdFilter& exclude) const {
+  METIS_CHECK_EQ(query.size(), dim_);
+  if (fetch_k == 0 || count_ == 0) {
+    return {};
+  }
+  RetrievalPrecision tier = ResolveTier(quality, quantizers());
+  double qnorm = SquaredNormBlocked(query.data(), dim_);
+  BoundedQuantTopK topk(fetch_k);
+  if (tier == RetrievalPrecision::kFp32) {
+    for (const IndexShard& shard : shards_) {
+      ScanRowsExactInto(shard.rows, 0, shard.rows.size(), query.data(), qnorm,
+                        shard.orders.data(), 0, exclude, topk);
+    }
+    return topk.DrainCands();
+  }
+  SqQuery sq;
+  PqQuery pq;
+  if (tier == RetrievalPrecision::kInt8) {
+    BuildSqQuery(quantizers_.sq, query.data(), dim_, &sq);
+  } else {
+    BuildPqQuery(quantizers_.pq, query.data(), dim_, &pq);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const IndexShard& shard = shards_[s];
+    const QuantizedCodes& codes = qcodes_[s];
+    // Mirror prefix scans quantized; rows appended after the mirror was
+    // encoded scan exactly into the same heap (quantize.h).
+    size_t enc = std::min(codes.rows, shard.rows.size());
+    if (tier == RetrievalPrecision::kInt8) {
+      ScanSqRowsInto(codes, 0, shard.rows, 0, enc, sq, shard.orders.data(), 0, exclude, topk);
+    } else {
+      ScanPqRowsInto(codes, 0, shard.rows, 0, enc, pq, quantizers_.pq.m, shard.orders.data(), 0,
+                     exclude, topk);
+    }
+    if (enc < shard.rows.size()) {
+      ScanRowsExactInto(shard.rows, enc, shard.rows.size(), query.data(), qnorm,
+                        shard.orders.data(), 0, exclude, topk);
+    }
+  }
+  return topk.DrainCands();
+}
+
+size_t FlatL2Index::bytes_per_row(RetrievalPrecision tier) const {
+  switch (tier) {
+    case RetrievalPrecision::kFp32:
+      return PaddedStride(dim_) * sizeof(float);
+    case RetrievalPrecision::kInt8:
+      return quantized_ && quantizers_.sq.valid() ? SqCodeStride(dim_) : 0;
+    case RetrievalPrecision::kPq:
+      return quantized_ && quantizers_.pq.valid() ? quantizers_.pq.m : 0;
+  }
+  return 0;
+}
+
 // --- IvfL2Index -------------------------------------------------------------
 
-IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, size_t num_shards)
+IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, size_t num_shards,
+                       QuantizationOptions quant)
     : dim_(dim),
       nlist_(nlist),
       nprobe_(std::min(nprobe, nlist)),
@@ -305,6 +514,7 @@ IvfL2Index::IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, s
   METIS_CHECK_GT(nlist, 0u);
   METIS_CHECK_GT(nprobe, 0u);
   METIS_CHECK_GT(num_shards, 0u);
+  qopts_ = quant;
 }
 
 void IvfL2Index::Add(ChunkId id, const Embedding& v) {
@@ -574,6 +784,60 @@ std::vector<OrderedHit> IvfL2Index::SearchOneOrdered(const float* q, size_t k,
   return out;
 }
 
+std::vector<QuantCand> IvfL2Index::QuantCandidatesOne(const float* q, size_t fetch_k,
+                                                      RetrievalPrecision tier,
+                                                      const ProbePlan& plan,
+                                                      const IdFilter& exclude,
+                                                      uint64_t* probes_used) const {
+  METIS_CHECK(trained_);
+  double qnorm = SquaredNormBlocked(q, dim_);
+  // Probe planning stays fp32 on every tier, so a quantized query probes
+  // exactly the lists its fp32 twin would (tier-invariant probe counts).
+  ProbeSet probes = PlanProbes(q, qnorm, plan);
+  SqQuery sq;
+  PqQuery pq;
+  if (tier == RetrievalPrecision::kInt8) {
+    BuildSqQuery(quantizers_.sq, q, dim_, &sq);
+  } else {
+    BuildPqQuery(quantizers_.pq, q, dim_, &pq);
+  }
+  BoundedQuantTopK topk(fetch_k);
+  for (size_t shard = 0; shard < num_shards_; ++shard) {
+    for (size_t p = 0; p < probes.lists.size(); ++p) {
+      const IndexShard& sh = lists_[probes.lists[p]][shard];
+      const QuantizedCodes& codes = qcodes_[probes.lists[p]][shard];
+      size_t enc = std::min(codes.rows, sh.rows.size());
+      if (tier == RetrievalPrecision::kInt8) {
+        ScanSqRowsInto(codes, 0, sh.rows, 0, enc, sq, sh.orders.data(), probes.bases[p], exclude,
+                       topk);
+      } else {
+        ScanPqRowsInto(codes, 0, sh.rows, 0, enc, pq, quantizers_.pq.m, sh.orders.data(),
+                       probes.bases[p], exclude, topk);
+      }
+      if (enc < sh.rows.size()) {
+        // Rows assigned to this list after the mirror was encoded.
+        ScanRowsExactInto(sh.rows, enc, sh.rows.size(), q, qnorm, sh.orders.data(),
+                          probes.bases[p], exclude, topk);
+      }
+    }
+  }
+  if (probes_used != nullptr) {
+    *probes_used = probes.lists.size();
+  }
+  return topk.DrainCands();
+}
+
+std::vector<SearchHit> IvfL2Index::SearchOneQuant(const float* q, size_t k,
+                                                  RetrievalPrecision tier,
+                                                  const RetrievalQuality& quality,
+                                                  const ProbePlan& plan,
+                                                  uint64_t* probes_used) const {
+  size_t fetch = k * ResolveRerankFactor(quality);
+  std::vector<QuantCand> cands = QuantCandidatesOne(q, fetch, tier, plan, IdFilter{}, probes_used);
+  double qnorm = SquaredNormBlocked(q, dim_);
+  return RerankToHits(std::move(cands), q, qnorm, k);
+}
+
 std::vector<OrderedHit> IvfL2Index::SearchOrdered(const Embedding& query, size_t k,
                                                   const RetrievalQuality& quality,
                                                   const IdFilter& exclude) const {
@@ -592,8 +856,12 @@ std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k) cons
 std::vector<SearchHit> IvfL2Index::Search(const Embedding& query, size_t k,
                                           const RetrievalQuality& quality) const {
   METIS_CHECK_EQ(query.size(), dim_);
+  RetrievalPrecision tier = ResolveTier(quality, quantizers());
   uint64_t probes = 0;
-  std::vector<SearchHit> hits = SearchOne(query.data(), k, ResolveProbe(quality), &probes);
+  std::vector<SearchHit> hits =
+      tier == RetrievalPrecision::kFp32
+          ? SearchOne(query.data(), k, ResolveProbe(quality), &probes)
+          : SearchOneQuant(query.data(), k, tier, quality, ResolveProbe(quality), &probes);
   stats_.Record(probes);
   return hits;
 }
@@ -604,6 +872,71 @@ std::vector<uint64_t> IvfL2Index::probe_histogram() const {
     hist[i] = stats_.hist[i].load(std::memory_order_relaxed);
   }
   return hist;
+}
+
+std::vector<QuantCand> IvfL2Index::SearchQuantCandidates(const Embedding& query, size_t fetch_k,
+                                                         const RetrievalQuality& quality,
+                                                         const IdFilter& exclude) const {
+  METIS_CHECK_EQ(query.size(), dim_);
+  RetrievalPrecision tier = ResolveTier(quality, quantizers());
+  uint64_t probes = 0;
+  std::vector<QuantCand> cands;
+  if (tier == RetrievalPrecision::kFp32) {
+    // Exact candidates (no mirror, or fp32 requested): distances are final.
+    std::vector<OrderedHit> hits =
+        SearchOneOrdered(query.data(), fetch_k, ResolveProbe(quality), exclude, &probes);
+    cands.reserve(hits.size());
+    for (const OrderedHit& h : hits) {
+      cands.push_back(QuantCand{h.distance, h.order, h.id, nullptr, 0});
+    }
+  } else {
+    cands = QuantCandidatesOne(query.data(), fetch_k, tier, ResolveProbe(quality), exclude,
+                               &probes);
+  }
+  stats_.Record(probes);
+  return cands;
+}
+
+bool IvfL2Index::BuildQuantizedMirrors() {
+  if (!qopts_.any() || !trained_ || count_ == 0) {
+    return false;
+  }
+  // Train over rows in (list, in-list order) — both shard-invariant — so the
+  // quantizers, and therefore quantized rankings, do not depend on the shard
+  // count.
+  std::vector<const float*> rows;
+  rows.reserve(count_);
+  for (size_t l = 0; l < lists_.size(); ++l) {
+    std::vector<const float*> in_list(list_counts_[l], nullptr);
+    for (const IndexShard& sh : lists_[l]) {
+      for (size_t i = 0; i < sh.rows.size(); ++i) {
+        in_list[sh.orders[i]] = sh.rows.row(i);
+      }
+    }
+    rows.insert(rows.end(), in_list.begin(), in_list.end());
+  }
+  auto accessor = [&rows](size_t i) { return rows[i]; };
+  quantizers_ = TrainQuantizers(accessor, rows.size(), dim_, qopts_, seed_);
+  qcodes_.assign(lists_.size(), std::vector<QuantizedCodes>(num_shards_));
+  for (size_t l = 0; l < lists_.size(); ++l) {
+    for (size_t s = 0; s < num_shards_; ++s) {
+      EncodeRows(quantizers_, lists_[l][s].rows, 0, lists_[l][s].rows.size(), &qcodes_[l][s]);
+    }
+  }
+  quantized_ = true;
+  return true;
+}
+
+size_t IvfL2Index::bytes_per_row(RetrievalPrecision tier) const {
+  switch (tier) {
+    case RetrievalPrecision::kFp32:
+      return PaddedStride(dim_) * sizeof(float);
+    case RetrievalPrecision::kInt8:
+      return quantized_ && quantizers_.sq.valid() ? SqCodeStride(dim_) : 0;
+    case RetrievalPrecision::kPq:
+      return quantized_ && quantizers_.pq.valid() ? quantizers_.pq.m : 0;
+  }
+  return 0;
 }
 
 std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(const std::vector<Embedding>& queries,
@@ -632,6 +965,55 @@ std::vector<std::vector<SearchHit>> IvfL2Index::SearchBatch(
   size_t nq = queries.size();
   size_t nshards = num_shards_;
   bool parallel = pool != nullptr && pool->num_threads() > 1;
+
+  std::vector<RetrievalPrecision> tiers(nq);
+  bool any_quant = false;
+  for (size_t qi = 0; qi < nq; ++qi) {
+    tiers[qi] = ResolveTier(qualities[qi], quantizers());
+    any_quant = any_quant || tiers[qi] != RetrievalPrecision::kFp32;
+  }
+  if (any_quant) {
+    // Mixed-tier group: the exact subset rides the shared 3-phase sweep (the
+    // recursive call resolves all-fp32 and takes the path below); quantized
+    // queries fan out per query, probes recorded after the barrier. Either
+    // way results[i] is bit-identical to Search(queries[i], k, qualities[i]).
+    std::vector<Embedding> exact_q;
+    std::vector<RetrievalQuality> exact_quals;
+    std::vector<size_t> exact_idx;
+    std::vector<size_t> quant_idx;
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (tiers[qi] == RetrievalPrecision::kFp32) {
+        exact_idx.push_back(qi);
+        exact_q.push_back(queries[qi]);
+        exact_quals.push_back(qualities[qi]);
+      } else {
+        quant_idx.push_back(qi);
+      }
+    }
+    if (!exact_q.empty()) {
+      std::vector<std::vector<SearchHit>> exact_res = SearchBatch(exact_q, k, pool, exact_quals);
+      for (size_t j = 0; j < exact_idx.size(); ++j) {
+        results[exact_idx[j]] = std::move(exact_res[j]);
+      }
+    }
+    std::vector<uint64_t> probes(quant_idx.size(), 0);
+    auto quant_sweep = [&](size_t b, size_t e) {
+      for (size_t t = b; t < e; ++t) {
+        size_t qi = quant_idx[t];
+        results[qi] = SearchOneQuant(queries[qi].data(), k, tiers[qi], qualities[qi],
+                                     ResolveProbe(qualities[qi]), &probes[t]);
+      }
+    };
+    if (parallel && quant_idx.size() > 1) {
+      pool->ParallelFor(quant_idx.size(), quant_sweep);
+    } else {
+      quant_sweep(0, quant_idx.size());
+    }
+    for (uint64_t p : probes) {
+      stats_.Record(p);
+    }
+    return results;
+  }
 
   // Phase 1 — plan: per-query centroid ranking + adaptive rule, into
   // disjoint slots (deterministic for any partitioning). Each query resolves
@@ -695,12 +1077,12 @@ std::unique_ptr<VectorIndex> MakeBackendIndex(size_t dim, const RetrievalIndexOp
   size_t shards = std::max<size_t>(1, options.shards);
   if (options.backend == RetrievalIndexOptions::Backend::kIvf) {
     auto ivf = std::make_unique<IvfL2Index>(dim, options.nlist, options.nprobe,
-                                            options.train_seed, shards);
+                                            options.train_seed, shards, options.quant);
     ivf->set_adaptive_probe(options.adaptive);
     *ivf_out = ivf.get();
     return ivf;
   }
-  return std::make_unique<FlatL2Index>(dim, shards);
+  return std::make_unique<FlatL2Index>(dim, shards, options.quant);
 }
 
 VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata,
@@ -764,6 +1146,8 @@ void VectorDatabase::FinalizeIndex(ThreadPool* pool) {
   if (ivf_ != nullptr && !ivf_->trained() && ivf_->size() > 0) {
     ivf_->Train(pool);
   }
+  // Quantized mirrors (no-op unless index_options.quant enables a tier).
+  index_->BuildQuantizedMirrors();
 }
 
 std::vector<ChunkId> VectorDatabase::InsertChunks(std::vector<Chunk> chunks, ThreadPool* pool) {

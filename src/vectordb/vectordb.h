@@ -235,6 +235,35 @@ struct AdaptiveProbePolicy {
 // call: the profiler-driven RetrievalDepthPolicy (src/core/) assigns each
 // query its own quality, and the batched sweeps accept one RetrievalQuality
 // per query (heterogeneous groups stay bit-identical to per-query scans).
+// Scan-tier precision: which row representation the candidate-generation scan
+// reads. fp32 is the exact path (bit-identical to the pre-quantization index);
+// int8 and PQ scan 4-32x narrower quantized mirrors and feed an exact fp32
+// rerank tail (see quantize.h). Ordered by cost: cheaper tiers compare lower,
+// so "shed precision" under overload means moving toward kPq.
+enum class RetrievalPrecision : uint8_t {
+  kFp32 = 0,
+  kInt8 = 1,
+  kPq = 2,
+};
+
+// Stable lowercase name ("fp32", "int8", "pq") for logs and bench tags.
+const char* RetrievalPrecisionName(RetrievalPrecision p);
+
+// Scan-cost rank for shedding decisions: fp32 (2) > int8 (1) > pq (0). The
+// overload ladder's precision rung only ever moves a query to a LOWER-cost
+// tier — degradation never makes a query more expensive.
+inline int RetrievalPrecisionCost(RetrievalPrecision p) {
+  switch (p) {
+    case RetrievalPrecision::kFp32:
+      return 2;
+    case RetrievalPrecision::kInt8:
+      return 1;
+    case RetrievalPrecision::kPq:
+      return 0;
+  }
+  return 2;
+}
+
 struct RetrievalQuality {
   enum class ProbeMode {
     kIndexDefault,  // Use the index's own AdaptiveProbePolicy / nprobe.
@@ -244,6 +273,95 @@ struct RetrievalQuality {
   ProbeMode mode = ProbeMode::kIndexDefault;
   // >0 overrides the probe count (fixed mode) or budget (adaptive mode).
   size_t nprobe = 0;
+  // Scan tier for this query. Quantized tiers require the index to have built
+  // quantized mirrors (RetrievalIndexOptions::quant); an index without the
+  // requested mirror serves the query exactly instead — the knob can only be
+  // cheaper, never wrong. kFp32 (the default) is bit-identical to an index
+  // with no quantization support at all.
+  RetrievalPrecision precision = RetrievalPrecision::kFp32;
+  // Over-fetch multiple for the exact rerank tail: a quantized scan selects
+  // k * rerank_factor candidates under (approx distance, order), then the
+  // exact kernel re-scores them and the best k win under (exact distance,
+  // order). 0 = the default factor (4). Ignored on the fp32 tier.
+  size_t rerank_factor = 0;
+};
+
+// The effective over-fetch multiple for a quality (0 = default 4).
+inline size_t ResolveRerankFactor(const RetrievalQuality& quality) {
+  return quality.rerank_factor > 0 ? quality.rerank_factor : 4;
+}
+
+// --- Quantized mirror storage (built by quantize.cc) -------------------------
+
+// Build-time knobs: which quantized mirrors an index materializes alongside
+// its fp32 rows (RetrievalIndexOptions::quant). Mirrors are pure accelerators:
+// they never change what precision=fp32 returns.
+struct QuantizationOptions {
+  bool sq = false;  // int8 scalar quantization (per-dimension affine).
+  bool pq = false;  // Product quantization (m subspaces x <=256 centroids).
+  // PQ subspace count; clamped down to the nearest divisor of dim at train
+  // time. Bytes/row on the PQ tier is exactly the effective m.
+  size_t pq_m = 8;
+  // PQ k-means trains on a deterministic strided sample of at most this many
+  // rows (training is O(rows * 256 * dim * iters)).
+  size_t pq_train_rows = 4096;
+  size_t pq_train_iters = 5;
+  bool any() const { return sq || pq; }
+};
+
+// Int8 scalar quantizer: per-dimension affine params over the training rows.
+// code = round((x - vmin[d]) / scale[d]) clamped to [0, 255].
+struct Int8Params {
+  std::vector<float> vmin;
+  std::vector<float> scale;
+  bool valid() const { return !vmin.empty(); }
+};
+
+// Product quantizer: m subspaces of dsub dims, each with its own centroid
+// codebook (row-major: centroids[(s * ncentroids + c) * dsub + d]).
+struct PqParams {
+  size_t m = 0;
+  size_t dsub = 0;
+  size_t ncentroids = 0;
+  std::vector<float> centroids;
+  bool valid() const { return m > 0; }
+};
+
+// The quantizers an index trained over its rows. Shared with the mutable
+// wrapper, which encodes sealed segments against its base's params so segment
+// codes and base codes live in the same code space.
+struct IndexQuantizers {
+  Int8Params sq;
+  PqParams pq;
+  bool any() const { return sq.valid() || pq.valid(); }
+};
+
+// Quantized mirror of (a prefix of) one IndexShard's RowPool: parallel code
+// arrays, one row of codes per fp32 row. Rows appended after the mirror was
+// encoded (rows >= `rows`) are scanned exactly instead — the same rule that
+// keeps the mutable index's memtable exact.
+struct QuantizedCodes {
+  size_t rows = 0;
+  // SQ: rows x sq_stride uint8 codes (stride = dim padded to 64 bytes), plus
+  // the per-row correction term sum_d (scale[d] * code[d])^2 the asymmetric
+  // distance needs (quantize.h).
+  size_t sq_stride = 0;
+  std::vector<uint8_t, AlignedAllocator<uint8_t>> sq;
+  std::vector<double> sq_row_const;
+  // PQ: rows x m uint8 centroid codes.
+  std::vector<uint8_t> pq;
+};
+
+// Candidate surfaced by a quantized scan, carrying its row location so the
+// rerank tail can re-score it with the exact kernel. pool == nullptr marks a
+// candidate whose dist is already exact (memtable rows, un-encoded suffixes,
+// fp32 fallbacks); rerank leaves it untouched.
+struct QuantCand {
+  float dist;
+  size_t order;
+  ChunkId id;
+  const RowPool* pool;
+  uint32_t row;
 };
 
 // --- Index interface --------------------------------------------------------
@@ -298,6 +416,25 @@ class VectorIndex {
   virtual std::vector<OrderedHit> SearchOrdered(const Embedding& query, size_t k,
                                                 const RetrievalQuality& quality,
                                                 const IdFilter& exclude) const;
+  // --- Quantized-tier hooks ---
+  // Trains quantizers over the rows added so far and encodes the quantized
+  // mirrors (per the backend's QuantizationOptions). Idempotent-by-intent:
+  // called once after bulk load / (re)train. Returns false when the backend
+  // has no quantization configured. Not synchronized with concurrent reads.
+  virtual bool BuildQuantizedMirrors() { return false; }
+  // The trained quantizers, or null when no mirror exists. The mutable
+  // wrapper encodes sealed segments against its base's quantizers.
+  virtual const IndexQuantizers* quantizers() const { return nullptr; }
+  // Up to fetch_k candidates under the requested tier's (approx distance,
+  // order) total order, with row locations attached for the exact rerank
+  // tail. SearchOrdered stays exact regardless of quality.precision; this is
+  // the quantized counterpart the mutable index merges from. Falls back to
+  // exact candidates (pool == nullptr) when the tier's mirror is absent. The
+  // default serves exact candidates through SearchOrdered. Counts toward
+  // probe stats exactly like Search — the rerank tail is not a probe.
+  virtual std::vector<QuantCand> SearchQuantCandidates(const Embedding& query, size_t fetch_k,
+                                                       const RetrievalQuality& quality,
+                                                       const IdFilter& exclude) const;
   virtual size_t size() const = 0;
 };
 
@@ -309,33 +446,54 @@ class VectorIndex {
 // shard count and any thread count (see IndexShard).
 class FlatL2Index : public VectorIndex {
  public:
-  explicit FlatL2Index(size_t dim, size_t num_shards = 1);
-
-  // Un-hide the base's quality-aware overloads (no-ops for an exact index).
-  using VectorIndex::Search;
-  using VectorIndex::SearchBatch;
+  explicit FlatL2Index(size_t dim, size_t num_shards = 1, QuantizationOptions quant = {});
 
   void Add(ChunkId id, const Embedding& v) override;
   std::vector<SearchHit> Search(const Embedding& query, size_t k) const override;
+  // quality.precision routes to the quantized mirrors + exact rerank when
+  // mirrors exist; kFp32 (and any tier with no mirror) is the exact path,
+  // bit-identical to the quality-less overload.
+  std::vector<SearchHit> Search(const Embedding& query, size_t k,
+                                const RetrievalQuality& quality) const override;
   std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries,
                                                   size_t k,
                                                   ThreadPool* pool = nullptr) const override;
-  // Exact backend: per-query qualities carry no information, so the
-  // heterogeneous batch is the plain shared sweep.
+  std::vector<std::vector<SearchHit>> SearchBatch(const std::vector<Embedding>& queries, size_t k,
+                                                  ThreadPool* pool,
+                                                  const RetrievalQuality& quality) const override;
+  // Heterogeneous batch: fp32 queries ride the plain shared sweep; quantized
+  // queries fan out per query. results[i] is bit-identical to
+  // Search(queries[i], k, qualities[i]).
   std::vector<std::vector<SearchHit>> SearchBatch(
       const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
       const std::vector<RetrievalQuality>& qualities) const override;
   // Exact scan with tombstone filtering; orders are global insertion orders.
+  // Always exact regardless of quality.precision (the quantized counterpart
+  // is SearchQuantCandidates).
   std::vector<OrderedHit> SearchOrdered(const Embedding& query, size_t k,
                                         const RetrievalQuality& quality,
                                         const IdFilter& exclude) const override;
+  bool BuildQuantizedMirrors() override;
+  const IndexQuantizers* quantizers() const override {
+    return quantized_ ? &quantizers_ : nullptr;
+  }
+  std::vector<QuantCand> SearchQuantCandidates(const Embedding& query, size_t fetch_k,
+                                               const RetrievalQuality& quality,
+                                               const IdFilter& exclude) const override;
   size_t size() const override { return count_; }
   size_t num_shards() const { return shards_.size(); }
+  // Scan-tier bytes per row (padded strides included): the memory the hot
+  // candidate scan streams for one row on each tier. 0 = tier unavailable.
+  size_t bytes_per_row(RetrievalPrecision tier) const;
 
  private:
   size_t dim_;
   size_t count_ = 0;  // Rows added so far; doubles as the next global order.
   std::vector<IndexShard> shards_;
+  QuantizationOptions qopts_;
+  bool quantized_ = false;
+  IndexQuantizers quantizers_;
+  std::vector<QuantizedCodes> qcodes_;  // Parallel to shards_.
 };
 
 // Inverted-file index: k-means coarse quantizer + per-list exact search.
@@ -348,7 +506,8 @@ class FlatL2Index : public VectorIndex {
 // rankings (and probe counts) are bit-identical for any shard count.
 class IvfL2Index : public VectorIndex {
  public:
-  IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, size_t num_shards = 1);
+  IvfL2Index(size_t dim, size_t nlist, size_t nprobe, uint64_t seed, size_t num_shards = 1,
+             QuantizationOptions quant = {});
 
   void Add(ChunkId id, const Embedding& v) override;
   std::vector<SearchHit> Search(const Embedding& query, size_t k) const override;
@@ -376,6 +535,21 @@ class IvfL2Index : public VectorIndex {
   std::vector<OrderedHit> SearchOrdered(const Embedding& query, size_t k,
                                         const RetrievalQuality& quality,
                                         const IdFilter& exclude) const override;
+  // Trains quantizers over the inverted lists and encodes per-list-shard
+  // mirrors. Call after Train(); rows added later are scanned exactly (the
+  // un-encoded-suffix rule).
+  bool BuildQuantizedMirrors() override;
+  const IndexQuantizers* quantizers() const override {
+    return quantized_ ? &quantizers_ : nullptr;
+  }
+  // Probe planning (centroid ranking, adaptive rule) is always fp32, so a
+  // quantized query probes exactly the lists its fp32 twin would — probe
+  // counts are tier-invariant, and the rerank tail never counts as a probe.
+  std::vector<QuantCand> SearchQuantCandidates(const Embedding& query, size_t fetch_k,
+                                               const RetrievalQuality& quality,
+                                               const IdFilter& exclude) const override;
+  // Scan-tier bytes per row (see FlatL2Index::bytes_per_row).
+  size_t bytes_per_row(RetrievalPrecision tier) const;
   // O(1): a running count maintained by Add()/Train().
   size_t size() const override { return count_; }
 
@@ -460,6 +634,15 @@ class IvfL2Index : public VectorIndex {
                                    uint64_t* probes_used) const;
   std::vector<OrderedHit> SearchOneOrdered(const float* q, size_t k, const ProbePlan& plan,
                                            const IdFilter& exclude, uint64_t* probes_used) const;
+  // Quantized candidate generation over the probed lists (tier must have a
+  // mirror; the callers resolve fallbacks). Does not touch the probe stats —
+  // callers record, like the exact SearchOne paths' callers.
+  std::vector<QuantCand> QuantCandidatesOne(const float* q, size_t fetch_k,
+                                            RetrievalPrecision tier, const ProbePlan& plan,
+                                            const IdFilter& exclude, uint64_t* probes_used) const;
+  std::vector<SearchHit> SearchOneQuant(const float* q, size_t k, RetrievalPrecision tier,
+                                        const RetrievalQuality& quality, const ProbePlan& plan,
+                                        uint64_t* probes_used) const;
 
   size_t dim_;
   size_t nlist_;
@@ -478,6 +661,10 @@ class IvfL2Index : public VectorIndex {
   // order and the base increment the probe planner uses.
   std::vector<std::vector<IndexShard>> lists_;
   std::vector<size_t> list_counts_;
+  QuantizationOptions qopts_;
+  bool quantized_ = false;
+  IndexQuantizers quantizers_;
+  std::vector<std::vector<QuantizedCodes>> qcodes_;  // Parallel to lists_.
 
   // Copyable atomic counters (atomics alone would delete the index's
   // copy/move, which tests rely on); copies snapshot the counts.
@@ -562,6 +749,10 @@ struct RetrievalIndexOptions {
   size_t nprobe = 8;
   AdaptiveProbePolicy adaptive;
   uint64_t train_seed = 17;
+  // Quantized mirrors (both backends): which tiers FinalizeIndex trains and
+  // encodes alongside the fp32 rows. Off by default — mirrors cost memory and
+  // only queries whose RetrievalQuality asks for a quantized tier read them.
+  QuantizationOptions quant;
   // Wrap the backend in the epoch-versioned MutableIndex so the database
   // accepts InsertChunks/DeleteChunks while serving.
   bool mutable_index = false;

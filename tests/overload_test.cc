@@ -124,6 +124,37 @@ TEST(OverloadControllerTest, PressureRisesWithBacklogAndLeavingRejectResetsBacko
   EXPECT_GE(controller.stats().peak_pressure, options.reject_at);
 }
 
+TEST(OverloadControllerTest, ShedPrecisionRungSitsBetweenCheapSynthesisAndReject) {
+  ControllerFixture f;
+  OverloadOptions options;
+  options.enabled = true;
+  // 3 waiting requests / ref 1.5 = pressure 2.0: exactly shed_precision_at
+  // (2.0 default), below reject_at (2.5).
+  options.queue_depth_ref = 1.5;
+  OverloadController controller(&f.engine, TwoClasses(), options);
+  for (int i = 0; i < 4; ++i) {
+    InferenceRequest req;
+    req.prompt_tokens = 32;
+    req.output_tokens = 8;
+    f.engine.Submit(std::move(req));
+  }
+  OverloadLevel level = controller.Assess();
+  EXPECT_EQ(level, OverloadLevel::kShedPrecision);
+  // Below kReject: everything still admits.
+  EXPECT_TRUE(controller.Admit(0, level));
+  EXPECT_TRUE(controller.Admit(1, level));
+  EXPECT_EQ(controller.stats().rejected, 0u);
+  EXPECT_EQ(controller.stats().max_level, static_cast<int>(OverloadLevel::kShedPrecision));
+
+  // The shed tier only ever moves a query cheaper: cost fp32 > int8 > pq.
+  EXPECT_GT(RetrievalPrecisionCost(RetrievalPrecision::kFp32),
+            RetrievalPrecisionCost(RetrievalPrecision::kInt8));
+  EXPECT_GT(RetrievalPrecisionCost(RetrievalPrecision::kInt8),
+            RetrievalPrecisionCost(RetrievalPrecision::kPq));
+  controller.NotePrecisionShed();
+  EXPECT_EQ(controller.stats().precision_shed, 1u);
+}
+
 TEST(OverloadControllerTest, ThresholdValidationAborts) {
   ControllerFixture f;
   OverloadOptions bad;

@@ -74,6 +74,37 @@ TEST(RecallEvalTest, ExhaustiveProbeIvfRecallIsOne) {
   EXPECT_DOUBLE_EQ(eval.Evaluate(ivf), 1.0);
 }
 
+TEST(RecallEvalTest, PrecomputedTruthPathsMatchFlatRebuild) {
+  // The cheap paths (precomputed-truth ctor, FromExactSearch on a resident
+  // index) must agree exactly with the classic flat-rebuild ctor — the whole
+  // point is skipping the per-grid-cell O(n·q) rebuild, not changing truth.
+  ClusteredCorpus corpus = MakeClusteredCorpus(16, 4, 60, 12, 4, 0x7B07B, /*mix_way=*/2);
+  FlatL2Index flat(16);
+  IvfL2Index ivf(16, 4, 2, 7);
+  AddAll(flat, corpus.points);
+  AddAll(ivf, corpus.points);
+  ivf.Train();
+  std::vector<Embedding> queries = corpus.AllQueries();
+
+  RecallEval classic(flat, queries, 10);
+  RecallEval wrapped(queries, 10, classic.ground_truth());
+  RecallEval from_flat = RecallEval::FromExactSearch(flat, queries, 10);
+  RetrievalQuality full_probe;
+  full_probe.mode = RetrievalQuality::ProbeMode::kFixed;
+  full_probe.nprobe = 4;  // == nlist: exact.
+  RecallEval from_ivf = RecallEval::FromExactSearch(ivf, queries, 10, nullptr, full_probe);
+
+  RetrievalQuality shallow;
+  shallow.mode = RetrievalQuality::ProbeMode::kFixed;
+  shallow.nprobe = 1;
+  const double want = classic.Evaluate(ivf, nullptr, shallow);
+  for (const RecallEval* eval : {&wrapped, &from_flat, &from_ivf}) {
+    ASSERT_EQ(eval->ground_truth().size(), queries.size());
+    EXPECT_DOUBLE_EQ(eval->Evaluate(ivf, nullptr, shallow), want);
+    EXPECT_DOUBLE_EQ(eval->Evaluate(flat), 1.0);
+  }
+}
+
 TEST(RecallEvalTest, RecallIsMonotoneInNprobe) {
   ClusteredCorpus corpus = MakeClusteredCorpus(24, 8, 80, 16, 16, 0xBEEF);
   FlatL2Index flat(24);

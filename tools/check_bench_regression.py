@@ -7,12 +7,15 @@ BENCH_recall.json, bench_fig_depth -> BENCH_depth.json, bench_fig_mixed_depth
 -> BENCH_mixed_depth.json; schema in docs/BENCH.md) and a baseline checked in
 under bench/baselines/. A record regresses when
 
-    current.<metric> < (1 - tolerance) * baseline.<metric>
+    current.<metric> < (1 - tolerance) * baseline.<metric>      (--direction higher)
+    current.<metric> > (1 + tolerance) * baseline.<metric>      (--direction lower)
 
 for the watched metric (default: qps; any higher-is-better metric works, e.g.
---metric recall_at_10 for the recall gate). Records missing from either side
-are reported but do not fail the check (configs come and go); metric-free
-records (e.g. the "summary" row) are skipped.
+--metric recall_at_10 for the recall gate — and lower-is-better metrics like
+bytes_per_row gate with --direction lower, where GROWTH is the regression).
+Records missing from either side are reported but do not fail the check
+(configs come and go); metric-free records (e.g. the "summary" row) are
+skipped.
 
 QPS is machine-dependent: the baseline is only meaningful for the machine
 family that produced it (the envelope's "note" field records the host).
@@ -74,9 +77,14 @@ def main():
                         default="bench/baselines/BENCH_retrieval.baseline.json",
                         help="checked-in baseline JSON (default: %(default)s)")
     parser.add_argument("--metric", default="qps",
-                        help="higher-is-better metric to watch (default: %(default)s)")
+                        help="metric to watch (default: %(default)s)")
     parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed fractional drop before failing (default: %(default)s)")
+                        help="allowed fractional drop (--direction higher) or growth "
+                             "(--direction lower) before failing (default: %(default)s)")
+    parser.add_argument("--direction", choices=("higher", "lower"), default="higher",
+                        help="whether the watched metric is higher-is-better (qps, recall) "
+                             "or lower-is-better (bytes_per_row, latency); default: "
+                             "%(default)s")
     parser.add_argument("--update", action="store_true",
                         help="copy --current over --baseline instead of checking")
     args = parser.parse_args()
@@ -119,7 +127,11 @@ def main():
             continue
         compared += 1
         ratio = cur_val / base_val
-        status = "ok" if ratio >= 1.0 - args.tolerance else "REGRESSED"
+        if args.direction == "higher":
+            ok = ratio >= 1.0 - args.tolerance
+        else:
+            ok = ratio <= 1.0 + args.tolerance
+        status = "ok" if ok else "REGRESSED"
         print(f"  [{status:>9}] {name}: {args.metric} {base_val:.6g} -> {cur_val:.6g} "
               f"({100.0 * (ratio - 1.0):+.1f}%)")
         if status == "REGRESSED":
