@@ -82,13 +82,128 @@ double JointScheduler::TotalBytes(const RagConfig& config, int query_tokens,
   return 0;
 }
 
+double JointScheduler::PredictedPrefixHitFrac() const {
+  if (!options_.cross_query_prefix) {
+    return 0;
+  }
+  const EngineStats& s = engine_->stats();
+  double denom = static_cast<double>(s.prefill_tokens + s.prefill_tokens_saved);
+  if (denom <= 0) {
+    return 0;
+  }
+  return static_cast<double>(s.prefill_tokens_saved) / denom;
+}
+
+int JointScheduler::SharedPrefixTokens(const RagConfig& config, int query_tokens) const {
+  if (!options_.cross_query_prefix) {
+    return 0;
+  }
+  // Canonical layout: everything before the query tail is shared — the
+  // instruction plus the chunk block (stuff) or one chunk (mapper unit).
+  switch (config.method) {
+    case SynthesisMethod::kStuff:
+      return executor_->StuffPromptTokens(query_tokens, config.num_chunks) - query_tokens;
+    case SynthesisMethod::kMapRerank:
+    case SynthesisMethod::kMapReduce:
+      return executor_->MapperPromptTokens(query_tokens) - query_tokens;
+  }
+  METIS_CHECK(false && "unreachable");
+  return 0;
+}
+
+double JointScheduler::EstimatedServiceSeconds(const RagConfig& config, int query_tokens,
+                                               int output_estimate) const {
+  const ModelSpec& m = engine_->model();
+  double hit = PredictedPrefixHitFrac();
+  // Prefill compute serializes through the step token budget; the quadratic
+  // attention term sums positions 0..prompt (~prompt^2 / 2). A resident
+  // prefix skips BOTH for its tokens, hence the discount on `prompt` itself.
+  auto prefill_s = [&](int prompt, int shared) {
+    double effective = prompt - hit * shared;
+    return effective / m.prefill_tokens_per_sec +
+           m.attn_prefill_coeff * 0.5 * effective * effective;
+  };
+  // Decodes overlap with the running batch, so the per-step weight-read
+  // overhead amortizes; attention still pays the full context per token.
+  double batch = std::max<double>(1.0, static_cast<double>(engine_->running_count()));
+  auto decode_s = [&](int prompt, int output) {
+    return output * (m.step_overhead_sec / batch +
+                     m.attn_decode_coeff * (prompt + 0.5 * output));
+  };
+  int shared = SharedPrefixTokens(config, query_tokens);
+  switch (config.method) {
+    case SynthesisMethod::kStuff: {
+      int prompt = executor_->StuffPromptTokens(query_tokens, config.num_chunks);
+      return prefill_s(prompt, shared) + decode_s(prompt, output_estimate);
+    }
+    case SynthesisMethod::kMapRerank: {
+      int prompt = executor_->MapperPromptTokens(query_tokens);
+      // Mapper prefills serialize; their decodes run concurrently, so the
+      // decode tail is paid once.
+      return config.num_chunks * prefill_s(prompt, shared) +
+             decode_s(prompt, output_estimate);
+    }
+    case SynthesisMethod::kMapReduce: {
+      int mapper = executor_->MapperPromptTokens(query_tokens);
+      int reduce = executor_->ReducePromptTokens(query_tokens, config.num_chunks,
+                                                 config.intermediate_tokens);
+      return config.num_chunks * prefill_s(mapper, shared) +
+             decode_s(mapper, config.intermediate_tokens) +
+             prefill_s(reduce, 0) + decode_s(reduce, output_estimate);
+    }
+  }
+  METIS_CHECK(false && "unreachable");
+  return 0;
+}
+
+void JointScheduler::ApplyBudget(SchedulerDecision* decision, const PrunedConfigSpace& space,
+                                 int query_tokens, int output_estimate,
+                                 double remaining_budget_s) const {
+  decision->est_service_s =
+      EstimatedServiceSeconds(decision->config, query_tokens, output_estimate);
+  if (options_.e2e_budget_s <= 0 || remaining_budget_s < 0) {
+    return;  // Budget split disabled: selection identical to the prior stack.
+  }
+  // Synthesis side first: shave intermediate tokens, then chunks, never below
+  // the space floor — the profiler's information need stays covered.
+  RagConfig cfg = decision->config;
+  bool trimmed = false;
+  while (decision->est_service_s > remaining_budget_s) {
+    if (cfg.method == SynthesisMethod::kMapReduce &&
+        cfg.intermediate_tokens - intermediate_stride_ >= space.min_intermediate) {
+      cfg.intermediate_tokens -= intermediate_stride_;
+    } else if (cfg.num_chunks > space.min_chunks) {
+      --cfg.num_chunks;
+    } else {
+      break;
+    }
+    trimmed = true;
+    decision->est_service_s = EstimatedServiceSeconds(cfg, query_tokens, output_estimate);
+  }
+  if (trimmed) {
+    decision->budget_trimmed = true;
+    decision->config = cfg;
+    decision->peak_bytes = PeakBytes(cfg, query_tokens, output_estimate);
+  }
+  if (decision->est_service_s > remaining_budget_s) {
+    // Synthesis is at its floor and still over budget: spend the retrieval
+    // half of the split — clamp the probe budget to the policy minimum so the
+    // retrieval front half gives back what time it can.
+    decision->retrieval = RetrievalDepthPolicy::ClampToBudget(
+        decision->retrieval, depth_policy_.options().min_budget);
+    decision->depth_traded = true;
+  }
+}
+
 SchedulerDecision JointScheduler::Choose(const PrunedConfigSpace& space,
                                          const QueryProfile& profile, int query_tokens,
-                                         int output_estimate) const {
+                                         int output_estimate,
+                                         double remaining_budget_s) const {
   SchedulerDecision decision;
   decision.retrieval = RetrievalQualityFor(profile);
   decision.free_bytes = options_.use_projected_free ? engine_->projected_free_kv_bytes()
                                                     : engine_->free_kv_bytes();
+  double hit_frac = PredictedPrefixHitFrac();
 
   bool found = false;
   double best_peak = -1;
@@ -97,7 +212,14 @@ SchedulerDecision JointScheduler::Choose(const PrunedConfigSpace& space,
 
   auto consider = [&](const RagConfig& cfg) {
     double peak = PeakBytes(cfg, query_tokens, output_estimate);
-    if (peak > decision.free_bytes) {
+    // Cross-query reuse: the shared prefix predicted to be resident costs no
+    // new blocks, so the fit check charges only the expected-novel fraction.
+    double fit_peak = peak;
+    if (hit_frac > 0) {
+      fit_peak -= hit_frac * engine_->kv().BytesForTokens(
+                                 SharedPrefixTokens(cfg, query_tokens));
+    }
+    if (fit_peak > decision.free_bytes) {
       return;  // Would queue behind memory; never picked (§4.3).
     }
     double total = TotalBytes(cfg, query_tokens, output_estimate);
@@ -149,6 +271,7 @@ SchedulerDecision JointScheduler::Choose(const PrunedConfigSpace& space,
   if (found) {
     decision.config = best;
     decision.peak_bytes = best_peak;
+    ApplyBudget(&decision, space, query_tokens, output_estimate, remaining_budget_s);
     return decision;
   }
 
@@ -185,6 +308,7 @@ SchedulerDecision JointScheduler::Choose(const PrunedConfigSpace& space,
     }
   }
   decision.peak_bytes = PeakBytes(decision.config, query_tokens, output_estimate);
+  ApplyBudget(&decision, space, query_tokens, output_estimate, remaining_budget_s);
   return decision;
 }
 

@@ -35,6 +35,13 @@ struct SchedulerDecision {
   bool used_fallback = false;
   double peak_bytes = 0;     // Estimated peak KV footprint of the choice.
   double free_bytes = 0;     // Free KV at decision time (for tracing).
+  // Co-scheduling trace (e2e_budget_s > 0): predicted service seconds of the
+  // choice under the observed prefix-hit rate; whether the budget forced
+  // synthesis tokens to be trimmed; and whether, with synthesis already at
+  // the space floor, retrieval depth was clamped to its minimum budget too.
+  double est_service_s = 0;
+  bool budget_trimmed = false;
+  bool depth_traded = false;
 };
 
 // Design-choice switches for the scheduler, used by the design-ablation bench
@@ -86,6 +93,28 @@ struct JointSchedulerOptions {
   // systems that profile (fixed-config baselines have no QueryProfile).
   bool per_query_depth = true;
   RetrievalDepthPolicyOptions depth;
+  // --- Joint co-scheduling with cross-query KV reuse ---
+  // cross_query_prefix: assemble synthesis contexts in canonical chunk order
+  // and key prefix groups by retrieved-chunk content (SynthesisExecutor), and
+  // run the engine with prefix retention, so concurrent queries that
+  // retrieved the same chunks alias resident KV blocks and skip the shared
+  // prefill. The scheduler then discounts its fit checks and service
+  // estimates by the observed hit rate. Off (default) = the per-query prefix
+  // layout and undiscounted planning, bit-identical to the prior stack.
+  bool cross_query_prefix = false;
+  // Grace window (s) the engine holds refs==0 prefixes reclaimably resident
+  // (EngineConfig::prefix_retention_s); wired by the runner only when
+  // cross_query_prefix is on.
+  double prefix_retention_s = 0.5;
+  // Per-query end-to-end delay budget (s). When > 0, Choose() receives the
+  // budget remaining after queueing/profiling and splits it between the two
+  // halves of the configuration: first trims synthesis (intermediate_tokens,
+  // then num_chunks, floored at the space minimum — the information need),
+  // and only when synthesis is at its floor clamps retrieval depth to the
+  // policy's min_budget. Under KV pressure this trades work for latency
+  // instead of shedding the query. 0 (default) = no budget, bit-identical
+  // scheduling.
+  double e2e_budget_s = 0;
 };
 
 // The RetrievalQuality handed to SynthesisExecutor / RetrievalBatcher for a
@@ -104,9 +133,27 @@ class JointScheduler {
   double TotalBytes(const RagConfig& config, int query_tokens, int output_estimate) const;
 
   // The best-fit selection described above. The decision also carries the
-  // query's retrieval depth (see RetrievalQualityFor).
+  // query's retrieval depth (see RetrievalQualityFor). `remaining_budget_s`
+  // is the e2e delay budget left for this query (arrival + e2e_budget_s −
+  // now); < 0 (default) or options().e2e_budget_s == 0 disables the budget
+  // split and reproduces the unbudgeted selection exactly.
   SchedulerDecision Choose(const PrunedConfigSpace& space, const QueryProfile& profile,
-                           int query_tokens, int output_estimate) const;
+                           int query_tokens, int output_estimate,
+                           double remaining_budget_s = -1) const;
+
+  // Fraction of prefill tokens the engine has skipped via resident shared
+  // prefixes so far (saved / (charged + saved)); the scheduler's predictor
+  // for how much of the NEXT shared prefix will already be resident. 0 until
+  // evidence accumulates, and always 0 with cross_query_prefix off.
+  double PredictedPrefixHitFrac() const;
+
+  // Predicted wall-clock seconds to serve `config` on the engine right now:
+  // prefill at the model's linear rate — discounted by PredictedPrefixHitFrac
+  // on the shared-prefix portion — plus quadratic attention terms and a
+  // decode estimate that amortizes step overhead over the running batch.
+  // A planning signal (monotone in the knobs), not an accounting identity.
+  double EstimatedServiceSeconds(const RagConfig& config, int query_tokens,
+                                 int output_estimate) const;
 
   // Retrieval depth for one query: the RetrievalDepthPolicy mapping of
   // `profile` when options().per_query_depth, else the per-run
@@ -137,6 +184,13 @@ class JointScheduler {
   const JointSchedulerOptions& options() const { return options_; }
 
  private:
+  // Tokens of `config`'s context that precede the query-specific tail under
+  // the canonical cross-query layout (0 with the feature off).
+  int SharedPrefixTokens(const RagConfig& config, int query_tokens) const;
+  // Trims `decision` to fit `remaining_budget_s` per the e2e_budget_s doc.
+  void ApplyBudget(SchedulerDecision* decision, const PrunedConfigSpace& space,
+                   int query_tokens, int output_estimate, double remaining_budget_s) const;
+
   const LlmEngine* engine_;
   const SynthesisExecutor* executor_;
   int intermediate_stride_;

@@ -90,6 +90,12 @@ struct OverloadOptions {
   //   pressure = queue_depth / queue_depth_ref
   //            + oldest_waiting_age / queue_age_ref_s
   //            + kv_deficit_weight * max(0, -projected_free_kv / total_kv)
+  // projected_free_kv is prefix-aware (LlmEngine::projected_free_kv_bytes):
+  // queued siblings of one prefix group charge the shared prefix once — and
+  // not at all when it is already resident, including retained (refs==0)
+  // prefixes the allocator can reclaim. Under cross-query KV reuse the
+  // deficit term therefore reflects the memory the queue will ACTUALLY need,
+  // so shared-prefix bursts no longer read as phantom pressure.
   // Each term is ~1.0 when that signal alone indicates saturation. The refs
   // are sized to the engine's per-chunk fanout: one map_reduce query alone
   // parks up to ~30 requests in the waiting queue, so a healthy stack

@@ -184,8 +184,16 @@ void MetisSystem::Accept(const RagQuery& query) {
     int query_tokens = static_cast<int>(CountTokens(query.text));
     SchedulerDecision decision;
     if (options_.pick == ConfigPick::kBestFit) {
+      // Co-scheduling: the delay budget left after arrival queueing and the
+      // profiler round-trip is what Choose() splits between retrieval depth
+      // and synthesis tokens. -1 (budget off) keeps the unbudgeted selection.
+      double remaining_budget_s = -1;
+      double e2e_budget = scheduler_->options().e2e_budget_s;
+      if (e2e_budget > 0) {
+        remaining_budget_s = std::max(0.0, arrival + e2e_budget - sim_->now());
+      }
       decision = scheduler_->Choose(space, outcome.profile, query_tokens,
-                                    options_.output_token_estimate);
+                                    options_.output_token_estimate, remaining_budget_s);
     } else {
       decision.config = scheduler_->MedianOfSpace(space);
       decision.retrieval = scheduler_->RetrievalQualityFor(outcome.profile);
@@ -261,6 +269,9 @@ void MetisSystem::Accept(const RagQuery& query) {
       rec.depth_shed = depth_shed;
       rec.synthesis_degraded = synthesis_degraded;
       rec.precision_shed = precision_shed;
+      rec.est_service_s = decision.est_service_s;
+      rec.budget_trimmed = decision.budget_trimmed;
+      rec.depth_traded = decision.depth_traded;
       sink_(std::move(rec));
     });
   });

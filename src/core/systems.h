@@ -58,6 +58,11 @@ struct QueryRecord {
   bool depth_shed = false;     // Rung 1 applied: retrieval budget clamped.
   bool synthesis_degraded = false;  // Rung 2 applied: cheap synthesis config.
   bool precision_shed = false;      // Rung 3 applied: quantized scan tier.
+
+  // --- Joint co-scheduling (JointSchedulerOptions::e2e_budget_s) ---
+  double est_service_s = 0;    // Scheduler's service-time prediction.
+  bool budget_trimmed = false; // Budget split trimmed synthesis tokens.
+  bool depth_traded = false;   // ...and clamped retrieval depth at the floor.
 };
 
 using RecordSink = std::function<void(QueryRecord)>;

@@ -1,6 +1,7 @@
 #include "src/llm/engine.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
@@ -32,11 +33,28 @@ double LlmEngine::oldest_waiting_age() const {
 }
 
 double LlmEngine::projected_free_kv_bytes() const {
+  // Mirror AdmitIfFits's accounting instead of charging every waiting request
+  // its full prompt + output: a request with a shared prefix only ever owns
+  // its tail (prompt - shared + output, block-rounded separately from the
+  // prefix), the prefix itself is paid once per group, and not at all when it
+  // is already resident. Charging N queued siblings the full prefix each
+  // under-reports headroom under grouped load, which made the overload
+  // controller's KV-deficit term over-shed.
   double claimed = 0;
+  std::unordered_set<uint64_t> counted_groups;
   for (const auto& rq : waiting_) {
-    claimed += kv_.BytesForTokens(rq->req.prompt_tokens + rq->req.output_tokens);
+    int shared = 0;
+    if (config_.prefix_sharing && rq->req.prefix_group != 0 &&
+        rq->req.shared_prefix_tokens > 0) {
+      shared = rq->req.shared_prefix_tokens;
+      if (!kv_.PrefixResident(rq->req.prefix_group) &&
+          counted_groups.insert(rq->req.prefix_group).second) {
+        claimed += kv_.BytesForTokens(shared);  // First sibling pays the prefix.
+      }
+    }
+    claimed += kv_.BytesForTokens(rq->req.prompt_tokens - shared + rq->req.output_tokens);
   }
-  return kv_.free_bytes() - claimed;
+  return kv_.free_bytes() + kv_.retained_bytes() - claimed;
 }
 
 uint64_t LlmEngine::Submit(InferenceRequest request) {
@@ -74,11 +92,21 @@ bool LlmEngine::AdmitIfFits(Rq* rq) {
     return false;
   }
 
+  // Pool-otherwise-empty probe BEFORE acquiring this request's own prefix:
+  // the admission buffer exists to absorb concurrent decode growth, and with
+  // no running request and no live allocation nothing else can grow. Without
+  // the waiver below, a request needing between total - buffer and total
+  // bytes passes Submit's satisfiability check yet can never admit — a
+  // permanent head-of-line livelock.
+  bool pool_otherwise_empty = running_.empty() && kv_.live_requests() == 0;
+
   int shared = 0;
   bool holds_prefix = false;
   bool prefix_was_resident = false;
+  bool prefix_was_retained = false;
   if (config_.prefix_sharing && rq->req.prefix_group != 0 && rq->req.shared_prefix_tokens > 0) {
     prefix_was_resident = kv_.PrefixResident(rq->req.prefix_group);
+    prefix_was_retained = kv_.PrefixRetained(rq->req.prefix_group);
     int64_t newly = kv_.AcquirePrefix(rq->req.prefix_group, rq->req.shared_prefix_tokens);
     if (newly < 0) {
       return false;
@@ -91,20 +119,33 @@ bool LlmEngine::AdmitIfFits(Rq* rq) {
   int charged = prefix_was_resident ? rq->req.prompt_tokens - shared : rq->req.prompt_tokens;
   int owned_tokens = (rq->req.prompt_tokens - shared) + rq->req.output_tokens;
 
-  double buffer = config_.admit_buffer_frac * kv_.total_bytes();
-  bool fits = kv_.BytesForTokens(owned_tokens) + buffer <= kv_.free_bytes();
+  double buffer = pool_otherwise_empty ? 0.0 : config_.admit_buffer_frac * kv_.total_bytes();
+  // Retained (refs==0) prefixes count toward the fit: the allocator evicts
+  // them on demand, so they are headroom, not occupancy.
+  bool fits = kv_.BytesForTokens(owned_tokens) + buffer <=
+              kv_.free_bytes() + kv_.retained_bytes();
   if (fits) {
     fits = kv_.Allocate(rq->id, owned_tokens);
   }
   if (!fits) {
     if (holds_prefix) {
-      kv_.ReleasePrefix(rq->req.prefix_group);
+      if (prefix_was_resident && config_.prefix_retention_s > 0) {
+        // Keep a warm (already-prefilled) prefix parked instead of destroying
+        // it just because this admission attempt failed.
+        kv_.ReleasePrefixRetained(rq->req.prefix_group, sim_->now());
+      } else {
+        kv_.ReleasePrefix(rq->req.prefix_group);
+      }
     }
     return false;
   }
 
   if (prefix_was_resident) {
     stats_.prefill_tokens_saved += shared;
+    ++stats_.prefix_hits;
+    if (prefix_was_retained) {
+      ++stats_.retained_prefix_hits;
+    }
   }
   rq->holds_prefix = holds_prefix;
   rq->charged_prefill = charged;
@@ -133,6 +174,12 @@ bool LlmEngine::PrefillBacklogFull() const {
 void LlmEngine::PlanStep() {
   METIS_CHECK(!step_in_flight_);
   stats_.peak_queue_age_s = std::max(stats_.peak_queue_age_s, oldest_waiting_age());
+  if (config_.prefix_retention_s > 0) {
+    // Retained prefixes past the grace window stop earning their keep.
+    kv_.ExpireRetained(sim_->now() - config_.prefix_retention_s);
+    stats_.retained_evictions = kv_.retained_evictions();
+    stats_.retained_expirations = kv_.retained_expirations();
+  }
 
   // --- Admission ---
   bool progressed = true;
@@ -275,7 +322,11 @@ void LlmEngine::Complete(std::unique_ptr<Rq> rq) {
   }
   kv_.Free(rq->id);
   if (rq->holds_prefix) {
-    kv_.ReleasePrefix(rq->req.prefix_group);
+    if (config_.prefix_retention_s > 0) {
+      kv_.ReleasePrefixRetained(rq->req.prefix_group, sim_->now());
+    } else {
+      kv_.ReleasePrefix(rq->req.prefix_group);
+    }
   }
   ++stats_.completed;
   if (rq->req.on_complete) {

@@ -48,6 +48,12 @@ struct EngineConfig {
   bool prefix_sharing = false;    // Share instruction prefixes across a group.
   double admit_buffer_frac = 0.02;  // OOM safety margin (paper §4.3).
   AdmissionPolicy policy = AdmissionPolicy::kFcfs;
+  // Cross-query KV reuse: hold a prefix group's blocks resident (reclaimable,
+  // LRU-evicted under pressure) for this long after the last reference drops,
+  // instead of freeing eagerly — queries that retrieved the same chunks within
+  // the window revive the prefix and skip the shared prefill. 0 (default) =
+  // eager release, bit-identical to the pre-retention engine.
+  double prefix_retention_s = 0;
 };
 
 struct RequestTiming {
@@ -81,6 +87,14 @@ struct EngineStats {
   double busy_seconds = 0;          // Sum of step durations with work in them.
   int64_t prefill_tokens = 0;       // Charged prefill tokens processed.
   int64_t prefill_tokens_saved = 0; // Tokens skipped via shared prefixes.
+  // Prefix-reuse accounting: admissions whose shared prefix was already
+  // resident; the subset revived off the retained (refs==0) LRU list; and
+  // retained prefixes evicted under allocation pressure / expired past the
+  // grace window (mirrors the KvCacheManager counters).
+  uint64_t prefix_hits = 0;
+  uint64_t retained_prefix_hits = 0;
+  uint64_t retained_evictions = 0;
+  uint64_t retained_expirations = 0;
   int64_t decode_tokens = 0;
   double peak_kv_bytes = 0;
   // Backlog observables (overload control): high-water marks of the arrival
@@ -103,10 +117,16 @@ class LlmEngine {
   // KV bytes a (prompt, output) request will need, including block rounding
   // and the admission buffer.
   double BytesNeededFor(int prompt_tokens, int output_tokens) const;
-  double free_kv_bytes() const { return kv_.free_bytes(); }
+  // Obtainable KV headroom: free blocks plus retained (refs==0) prefixes,
+  // which the allocator reclaims on demand. With retention off this is
+  // exactly the raw free pool.
+  double free_kv_bytes() const { return kv_.free_bytes() + kv_.retained_bytes(); }
   // Free KV minus what the waiting queue will claim once admitted — the
   // "current batch" headroom the paper's controller derives from vLLM's
   // num-seqs / num-batched-tokens counters (§6). Negative under backlog.
+  // Queue claims mirror AdmitIfFits's accounting: a request with a shared
+  // prefix owns only its tail, the prefix is charged once per group, and not
+  // at all when already resident.
   double projected_free_kv_bytes() const;
   double total_kv_bytes() const { return kv_.total_bytes(); }
   size_t queue_depth() const { return waiting_.size(); }
@@ -120,6 +140,8 @@ class LlmEngine {
   const EngineStats& stats() const { return stats_; }
   const EngineConfig& config() const { return config_; }
   const ModelSpec& model() const { return config_.model; }
+  // Read-only view of the paged KV manager (tests, tracing).
+  const KvCacheManager& kv() const { return kv_; }
 
   // Dollar cost of the GPU time this engine has been busy for.
   double busy_cost_usd() const;

@@ -214,6 +214,34 @@ void AssignTenants(std::vector<RagQuery>& queries, const std::vector<TenantClass
   }
 }
 
+// Shared-query shaping (SharedWorkloadOptions): replaces hot_fraction of the
+// stream with duplicates of the first num_hot queries, on its own Rng stream.
+// A duplicate is a full template copy — text, golds, id — so retrieval,
+// generation behaviour, and F1 scoring all see the template query (query ids
+// therefore repeat in the records); only the slot's arrival time and tenant
+// survive. Called after tenants are assigned and before arrivals, and a no-op
+// (no draws) at hot_fraction == 0.
+void ApplySharedWorkload(std::vector<RagQuery>& queries, const SharedWorkloadOptions& options,
+                         uint64_t seed) {
+  if (options.hot_fraction <= 0 || queries.empty()) {
+    return;
+  }
+  int num_hot = std::clamp(options.num_hot, 1, static_cast<int>(queries.size()));
+  std::vector<RagQuery> templates(queries.begin(), queries.begin() + num_hot);
+  Rng rng(seed ^ 0x4077D05Eull);
+  for (RagQuery& q : queries) {
+    if (!rng.Bernoulli(options.hot_fraction)) {
+      continue;
+    }
+    const RagQuery& t = templates[rng.Index(templates.size())];
+    SimTime arrival = q.arrival_time;
+    int tenant = q.tenant;
+    q = t;
+    q.arrival_time = arrival;
+    q.tenant = tenant;
+  }
+}
+
 // Shared aggregation over a run's records: overall + per-class Samples,
 // duration window, throughput (completions only), goodput (in-deadline
 // completions), and rejection accounting. With overload control off there
@@ -408,6 +436,11 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
   }
   ecfg.prefix_sharing = batching;
   ecfg.policy = batching ? AdmissionPolicy::kGroupAware : AdmissionPolicy::kFcfs;
+  if (spec.scheduler.cross_query_prefix) {
+    // Retention is an engine-wide property, so the SHARED engine takes the
+    // top-level scheduler's window (per-stack overrides only steer grouping).
+    ecfg.prefix_retention_s = spec.scheduler.prefix_retention_s;
+  }
   LlmEngine engine(&sim, ecfg, spec.seed);
   BehaviorModel behavior(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
 
@@ -457,6 +490,9 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
                                                       ds.dataset.get(),
                                                       spec.seed ^ 0x5E1Full, ds.batcher.get());
     ds.executor->set_retrieval_quality(retrieval_quality);
+    // Corpus-salted group keys keep cross-dataset chunk ids from aliasing on
+    // the shared engine (SynthesisExecutor::ChunkPrefixGroup).
+    ds.executor->set_cross_query_prefix(scheduler_options.cross_query_prefix);
     auto sink = [records = &ds.records](QueryRecord rec) { records->push_back(std::move(rec)); };
 
     RagConfig fixed = spec.fixed_configs[std::min(d, spec.fixed_configs.size() - 1)];
@@ -648,6 +684,11 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   }
   ecfg.prefix_sharing = batching;
   ecfg.policy = batching ? AdmissionPolicy::kGroupAware : AdmissionPolicy::kFcfs;
+  if (spec.scheduler.cross_query_prefix) {
+    // Cross-query reuse needs the engine to hold hot chunk prefixes across
+    // the gap between queries; gated so the default engine stays bit-identical.
+    ecfg.prefix_retention_s = spec.scheduler.prefix_retention_s;
+  }
   stack.engine = std::make_unique<LlmEngine>(&stack.sim, ecfg, spec.seed);
 
   stack.behavior = std::make_unique<BehaviorModel>(BehaviorParams{}, spec.seed ^ 0xBE4A11ull);
@@ -661,6 +702,7 @@ RunMetrics RunExperiment(const RunSpec& spec) {
                                                        stack.behavior.get(), dataset.get(),
                                                        spec.seed ^ 0x5E1Full, stack.batcher.get());
   stack.executor->set_retrieval_quality(retrieval_quality);
+  stack.executor->set_cross_query_prefix(spec.scheduler.cross_query_prefix);
 
   RunMetrics metrics;
   metrics.spec = spec;
@@ -725,6 +767,7 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   // Per-run copy of the queries so arrival times don't leak across runs.
   std::vector<RagQuery> queries = dataset->queries();
   AssignTenants(queries, spec.tenants, spec.seed);
+  ApplySharedWorkload(queries, spec.shared_workload, spec.seed);
   SimTime first_arrival = 0;
 
   if (spec.arrival_rate > 0) {

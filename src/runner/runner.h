@@ -62,6 +62,19 @@ struct IngestMetrics {
   size_t tombstones = 0;
 };
 
+// Shared-query workload shaping (cross-query KV reuse experiments). With
+// hot_fraction > 0, that fraction of the query stream (chosen on its own Rng
+// stream, so arrival times and tenant assignment are untouched) is replaced
+// by duplicates of `num_hot` template queries drawn from the head of the
+// stream — each duplicate keeps its slot's arrival time and tenant but
+// carries the template's text/golds, so many concurrent queries retrieve the
+// SAME chunks (the regime where canonical-order prefix grouping aliases KV).
+// hot_fraction == 0 (default) leaves the stream bit-identical.
+struct SharedWorkloadOptions {
+  double hot_fraction = 0;
+  int num_hot = 4;
+};
+
 struct RunSpec {
   std::string dataset = "musique";
   int num_queries = 200;
@@ -108,6 +121,9 @@ struct RunSpec {
   // Live insert/delete stream concurrent with the query stream (requires
   // retrieval.mutable_index; ignored when disabled).
   IngestOptions ingest;
+
+  // Shared-query shaping of the stream (see SharedWorkloadOptions above).
+  SharedWorkloadOptions shared_workload;
 
   uint64_t seed = 42;
 };

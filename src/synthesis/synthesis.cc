@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
 #include "src/common/strings.h"
 #include "src/core/retrieval_batcher.h"
 #include "src/text/tokenizer.h"
@@ -25,11 +26,26 @@ SynthesisExecutor::SynthesisExecutor(Simulator* sim, LlmEngine* engine,
       behavior_(behavior),
       dataset_(dataset),
       seed_(seed),
-      batcher_(batcher) {
+      batcher_(batcher),
+      corpus_salt_(HashString64(dataset->profile().name) ^ seed) {
   METIS_CHECK(sim != nullptr);
   METIS_CHECK(engine != nullptr);
   METIS_CHECK(behavior != nullptr);
   METIS_CHECK(dataset != nullptr);
+}
+
+uint64_t SynthesisExecutor::ChunkPrefixGroup(uint64_t tag, const ChunkId* ids,
+                                             size_t n) const {
+  // Corpus-salted so mixed-workload stacks sharing one engine cannot alias
+  // chunk ids across datasets; the tag separates stuff-style (many-chunk)
+  // prefixes from mapper (single-chunk) prefixes of the same ids.
+  uint64_t state = corpus_salt_ ^ tag;
+  for (size_t i = 0; i < n; ++i) {
+    state ^= static_cast<uint64_t>(ids[i]) + 0x9E3779B97F4A7C15ull;
+    SplitMix64(state);
+  }
+  uint64_t group = SplitMix64(state);
+  return group != 0 ? group : 1;  // 0 means "no shared prefix" to the engine.
 }
 
 int SynthesisExecutor::StuffPromptTokens(int query_tokens, int num_chunks) const {
@@ -183,6 +199,22 @@ void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
     int chunk_tokens = dataset_->profile().chunk_tokens;
     int prompt_tokens = StuffPromptTokens(query_tokens, static_cast<int>(chunks.size()));
 
+    // Cross-query reuse: canonical order — instruction, chunks in retrieval
+    // order, query tail — so two queries retrieving the same chunk list share
+    // a byte-identical prefix of instruction + all k chunks. The group is
+    // keyed by that ordered id list, not the query. Retrieval order (not an
+    // id sort) is deliberate: duplicate queries — the dominant sharing source
+    // — retrieve identical lists anyway, while re-sorting by id scatters the
+    // relevance-ordered gold facts into the position-sensitivity penalty band
+    // (BehaviorModel::LitmMultiplier) and costs ~0.1 mean F1 for no
+    // measurable extra aliasing.
+    uint64_t prefix_group = 0;
+    int shared_prefix = 0;
+    if (cross_query_prefix_ && !chunks.empty()) {
+      prefix_group = ChunkPrefixGroup(0x53544646ull /*STFF*/, chunks.data(), chunks.size());
+      shared_prefix = kInstructionTokens + static_cast<int>(chunks.size()) * chunk_tokens;
+    }
+
     GenerationTask task;
     task.mode = GenerationMode::kAnswer;
     task.context_tokens = prompt_tokens;
@@ -193,7 +225,9 @@ void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
     task.target_output_tokens = query.target_output_tokens;
     task.rng_salt = TaskSalt(query, config, "stuff", 0);
 
-    int header = kInstructionTokens + query_tokens;
+    // Canonical layout puts the query AFTER the chunk block; legacy layout
+    // puts it before. Only the per-fact positions move — token counts match.
+    int header = cross_query_prefix_ ? kInstructionTokens : kInstructionTokens + query_tokens;
     for (size_t ci = 0; ci < chunks.size(); ++ci) {
       ChunkFacts cf = DescribeChunk(query, chunks[ci]);
       for (size_t fi = 0; fi < cf.facts.size(); ++fi) {
@@ -212,6 +246,8 @@ void SynthesisExecutor::RunStuff(const RagQuery& query, const RagConfig& config,
     req.tag = StrFormat("q%d-stuff", query.id);
     req.prompt_tokens = prompt_tokens;
     req.output_tokens = std::max(1, gen.output_tokens);
+    req.prefix_group = prefix_group;
+    req.shared_prefix_tokens = shared_prefix;
     req.on_complete = [this, query, config, exec_start, coverage, chunks_n = chunks.size(),
                        text = gen.text, done = std::move(done)](const RequestTiming& t) {
       RagResult r = Finalize(query, config, exec_start, text);
@@ -236,8 +272,14 @@ void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& con
                                                std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));
     int prompt_tokens = MapperPromptTokens(query_tokens);
+    // Legacy: all of this query's mappers share its instruction+query prefix.
+    // Cross-query: instruction+chunk leads and the query trails, so the group
+    // is per CHUNK and aliases across queries that retrieved it.
     uint64_t prefix_group = 0x52524Bull ^ (static_cast<uint64_t>(query.id) << 8) ^ seed_;
     int shared_prefix = kInstructionTokens + query_tokens;
+    if (cross_query_prefix_) {
+      shared_prefix = kInstructionTokens + dataset_->profile().chunk_tokens;
+    }
 
     struct State {
       int outstanding = 0;
@@ -264,7 +306,7 @@ void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& con
       task.conclusion_tokens = query.conclusion_tokens;
       task.target_output_tokens = query.target_output_tokens;
       task.rng_salt = TaskSalt(query, config, "rerank", static_cast<int>(ci));
-      int header = kInstructionTokens + query_tokens;
+      int header = cross_query_prefix_ ? kInstructionTokens : kInstructionTokens + query_tokens;
       for (size_t fi = 0; fi < cf.facts.size(); ++fi) {
         FactInContext f = cf.facts[fi];
         f.position_frac =
@@ -277,7 +319,9 @@ void SynthesisExecutor::RunMapRerank(const RagQuery& query, const RagConfig& con
       req.tag = StrFormat("q%d-rerank-%zu", query.id, ci);
       req.prompt_tokens = prompt_tokens;
       req.output_tokens = std::max(1, gen.output_tokens);
-      req.prefix_group = prefix_group;
+      req.prefix_group = cross_query_prefix_
+                             ? ChunkPrefixGroup(0x5252414Bull /*RRAK*/, &chunks[ci], 1)
+                             : prefix_group;
       req.shared_prefix_tokens = shared_prefix;
       req.on_complete = [this, query, config, exec_start, state, coverage,
                          chunks_n = chunks.size(), confidence = gen.confidence,
@@ -314,8 +358,14 @@ void SynthesisExecutor::RunMapReduce(const RagQuery& query, const RagConfig& con
                                                std::vector<ChunkId> chunks) mutable {
     int query_tokens = static_cast<int>(CountTokens(query.text));
     int mapper_prompt = MapperPromptTokens(query_tokens);
+    // Same per-query vs per-chunk group split as map_rerank; the summarize
+    // tag keeps these prefixes distinct from rerank prefixes of one chunk
+    // (different instruction text in a real pipeline).
     uint64_t prefix_group = 0x4D4152ull ^ (static_cast<uint64_t>(query.id) << 8) ^ seed_;
     int shared_prefix = kInstructionTokens + query_tokens;
+    if (cross_query_prefix_) {
+      shared_prefix = kInstructionTokens + dataset_->profile().chunk_tokens;
+    }
 
     struct MapOut {
       std::vector<FactInContext> facts;
@@ -399,7 +449,9 @@ void SynthesisExecutor::RunMapReduce(const RagQuery& query, const RagConfig& con
       req.tag = StrFormat("q%d-map-%zu", query.id, ci);
       req.prompt_tokens = mapper_prompt;
       req.output_tokens = std::max(1, gen.output_tokens);
-      req.prefix_group = prefix_group;
+      req.prefix_group = cross_query_prefix_
+                             ? ChunkPrefixGroup(0x4D415053ull /*MAPS*/, &chunks[ci], 1)
+                             : prefix_group;
       req.shared_prefix_tokens = shared_prefix;
       req.on_complete = [state, ci, facts = gen.expressed_facts,
                          launch_reduce](const RequestTiming& t) {

@@ -77,6 +77,19 @@ class SynthesisExecutor {
   void set_retrieval_quality(const RetrievalQuality& quality) { retrieval_quality_ = quality; }
   const RetrievalQuality& retrieval_quality() const { return retrieval_quality_; }
 
+  // --- Cross-query KV reuse (joint co-scheduling) ---
+  // When enabled, synthesis contexts are assembled in CANONICAL chunk order:
+  // instruction, then the retrieved chunks sorted by chunk id, then the
+  // query-specific tail (the query text). Prefix groups are then keyed by the
+  // content of that shared prefix — the ordered chunk-id list for stuff, the
+  // single chunk id for mappers — instead of by query id, so concurrent
+  // queries that retrieved the same chunks alias resident KV blocks and skip
+  // the shared prefill (the engine's prefix retention holds hot chunk
+  // prefixes across a short gap). Off (default): the per-query
+  // instruction+query prefix layout, bit-identical to the pre-reuse executor.
+  void set_cross_query_prefix(bool on) { cross_query_prefix_ = on; }
+  bool cross_query_prefix() const { return cross_query_prefix_; }
+
   // --- Prompt-size estimators (used by METIS's joint scheduler, §4.3) ---
   int StuffPromptTokens(int query_tokens, int num_chunks) const;
   int MapperPromptTokens(int query_tokens) const;
@@ -119,6 +132,11 @@ class SynthesisExecutor {
   uint64_t TaskSalt(const RagQuery& query, const RagConfig& config, const char* stage,
                     int index) const;
 
+  // Content-keyed prefix-group id over `n` chunk ids (cross-query reuse):
+  // stable per corpus + run seed, identical for any two queries whose shared
+  // prefix holds the same ordered chunk ids.
+  uint64_t ChunkPrefixGroup(uint64_t tag, const ChunkId* ids, size_t n) const;
+
   Simulator* sim_;
   LlmEngine* engine_;
   const BehaviorModel* behavior_;
@@ -126,6 +144,8 @@ class SynthesisExecutor {
   uint64_t seed_;
   RetrievalBatcher* batcher_;
   RetrievalQuality retrieval_quality_;
+  bool cross_query_prefix_ = false;
+  uint64_t corpus_salt_ = 0;  // Hash of the dataset name ^ seed (group keys).
 };
 
 }  // namespace metis

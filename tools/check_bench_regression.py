@@ -85,6 +85,12 @@ def main():
                         help="whether the watched metric is higher-is-better (qps, recall) "
                              "or lower-is-better (bytes_per_row, latency); default: "
                              "%(default)s")
+    parser.add_argument("--report-metric", action="append", default=[],
+                        help="additionally print current-vs-baseline for this metric "
+                             "WITHOUT gating on it (repeatable; e.g. "
+                             "--report-metric prefill_tokens_saved on the e2e bench, "
+                             "where the saved-token count is the mechanism being "
+                             "tracked but goodput/f1 are the contract)")
     parser.add_argument("--update", action="store_true",
                         help="copy --current over --baseline instead of checking")
     args = parser.parse_args()
@@ -139,6 +145,22 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         if isinstance(current[name].get(args.metric), (int, float)):
             print(f"  [new]   {name}: not in baseline (not failing)")
+
+    # Informational metrics: tracked run to run for visibility, never gated.
+    for metric in args.report_metric:
+        printed = False
+        for name, base_rec in sorted(baseline.items()):
+            base_val = base_rec.get(metric)
+            cur_val = current.get(name, {}).get(metric)
+            if not isinstance(base_val, (int, float)) or not isinstance(cur_val, (int, float)):
+                continue
+            if not printed:
+                print(f"  -- {metric} (informational, not gated) --")
+                printed = True
+            delta = ""
+            if base_val > 0:
+                delta = f" ({100.0 * (cur_val / base_val - 1.0):+.1f}%)"
+            print(f"  [info] {name}: {metric} {base_val:.6g} -> {cur_val:.6g}{delta}")
 
     if compared == 0:
         print("error: no records with the watched metric in common", file=sys.stderr)
