@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/hybrid_router.h"
 #include "src/core/retrieval_depth.h"
 #include "src/workload/dataset.h"
 
@@ -72,6 +73,14 @@ struct DepthCalibratorOptions {
   std::vector<RetrievalPrecision> tier_grid;
   std::vector<size_t> rerank_grid;
   double tier_coverage_tolerance = 0.0;
+  // Hybrid-weight sweep (CalibrateHybridWeights): dense weights of the FUSED
+  // candidates tried per task type, on top of the always-included
+  // single-backend candidates {1,0} and {0,1}. Empty = {0.4, 0.5, 0.6}.
+  std::vector<float> hybrid_weight_grid;
+  // A candidate is "good enough" for a task type when its mean gold coverage
+  // is within this of the best candidate's; among good-enough candidates the
+  // CHEAPEST wins (lexical-only < dense-only < fused).
+  double hybrid_coverage_tolerance = 0.0;
 };
 
 class DepthCalibrator {
@@ -93,6 +102,19 @@ class DepthCalibrator {
   // The grid actually swept for an index with `nlist` lists: the configured
   // (or default) grid, clamped to nlist and deduplicated, ascending.
   std::vector<size_t> GridFor(size_t nlist) const;
+
+  // Hybrid-weight calibration (the fourth calibration axis: WHICH backend).
+  // Classifies the holdout queries by task type (ClassifyTaskType on the
+  // query text — the same RNG-free cue parse the serving profiler runs),
+  // measures each weight candidate's mean gold-chunk coverage per type, and
+  // writes the per-type winner into a copy of `base` with enabled set.
+  // Ties break toward the CHEAPER candidate (lexical-only, then dense-only,
+  // then fused — "a backend we don't scan is free"). Temporal queries that
+  // parse a time bucket are measured with the metadata filter attached when
+  // base.use_metadata_filter. A dataset whose database built no lexical
+  // index returns `base` unchanged (there is nothing to route to).
+  HybridRouterOptions CalibrateHybridWeights(const Dataset& dataset,
+                                             const HybridRouterOptions& base = {}) const;
 
   const DepthCalibratorOptions& options() const { return options_; }
 

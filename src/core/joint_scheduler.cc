@@ -29,10 +29,14 @@ JointScheduler::JointScheduler(const LlmEngine* engine, const SynthesisExecutor*
 }
 
 RetrievalQuality JointScheduler::RetrievalQualityFor(const QueryProfile& profile) const {
-  if (options_.per_query_depth) {
-    return depth_policy_.QualityFor(profile);
+  RetrievalQuality quality = options_.per_query_depth ? depth_policy_.QualityFor(profile)
+                                                      : RetrievalQualityFromOptions(options_);
+  if (options_.hybrid.enabled) {
+    // The backend mix composes on top of the depth/precision decision: the
+    // dense leg keeps its probe budget and scan tier.
+    quality = HybridRouter(options_.hybrid).Route(profile, quality);
   }
-  return RetrievalQualityFromOptions(options_);
+  return quality;
 }
 
 double JointScheduler::PeakBytes(const RagConfig& config, int query_tokens,

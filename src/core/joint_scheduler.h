@@ -18,6 +18,7 @@
 #ifndef METIS_SRC_CORE_JOINT_SCHEDULER_H_
 #define METIS_SRC_CORE_JOINT_SCHEDULER_H_
 
+#include "src/core/hybrid_router.h"
 #include "src/core/mapping.h"
 #include "src/core/retrieval_depth.h"
 #include "src/llm/engine.h"
@@ -115,6 +116,13 @@ struct JointSchedulerOptions {
   // instead of shedding the query. 0 (default) = no budget, bit-identical
   // scheduling.
   double e2e_budget_s = 0;
+  // --- Hybrid retrieval routing (src/core/hybrid_router.h) ---
+  // When hybrid.enabled, RetrievalQualityFor runs the profile's task type
+  // through the router AFTER the depth policy, so per-query depth and the
+  // backend mix compose. Off (default): bit-identical qualities. Only bites
+  // for profiler-driven systems (fixed-config baselines have no profile) and
+  // on databases that built a lexical index.
+  HybridRouterOptions hybrid;
 };
 
 // The RetrievalQuality handed to SynthesisExecutor / RetrievalBatcher for a

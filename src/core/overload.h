@@ -104,6 +104,14 @@ struct OverloadOptions {
   double queue_depth_ref = 32.0;
   double queue_age_ref_s = 1.0;
   double kv_deficit_weight = 2.0;
+  // Optional fourth pressure term: the co-scheduler's own per-decision service
+  // estimate (SchedulerDecision::est_service_s), EWMA-smoothed, normalized by
+  // this reference. The estimate already folds in prefix-hit discounts and
+  // batch effects the raw queue signals cannot see, so rising predicted
+  // service times flag saturation EARLIER than queue depth does. 0 (default)
+  // disables the term — Pressure() is then bit-identical to the three-term
+  // score (overload_test pins this).
+  double service_ref_s = 0;
 
   // Rung thresholds on the pressure score (ascending).
   double shed_depth_at = 0.75;
@@ -144,6 +152,7 @@ struct OverloadStats {
   uint64_t depth_shed = 0;           // Decisions taken at rung >= kShedDepth.
   uint64_t synthesis_degraded = 0;   // Decisions taken at rung >= kCheapSynthesis.
   uint64_t precision_shed = 0;       // Decisions taken at rung >= kShedPrecision.
+  uint64_t hybrid_shed = 0;          // Fused retrievals collapsed to one backend.
   int max_level = 0;                 // Highest rung ever assessed.
   double peak_pressure = 0;
 };
@@ -178,6 +187,7 @@ class OverloadController {
   void NoteDepthShed() { ++stats_.depth_shed; }
   void NoteSynthesisDegraded() { ++stats_.synthesis_degraded; }
   void NotePrecisionShed() { ++stats_.precision_shed; }
+  void NoteHybridShed() { ++stats_.hybrid_shed; }
 
   // Profiler-confidence signal (EWMA over recent profiles): recorded so the
   // ladder's depth rung can be audited against the §5 fallback pressure —
@@ -185,6 +195,12 @@ class OverloadController {
   // over-retrieve hardest.
   void ObserveConfidence(double confidence);
   double mean_confidence() const { return confidence_ewma_; }
+
+  // Co-scheduler service-estimate signal (S1): the scheduler's predicted
+  // service seconds for each committed decision, EWMA-smoothed into the
+  // Pressure() service term when options.service_ref_s > 0 (inert otherwise).
+  void ObserveServiceEstimate(double est_service_s);
+  double mean_service_estimate() const { return service_ewma_; }
 
   const OverloadOptions& options() const { return options_; }
   const OverloadStats& stats() const { return stats_; }
@@ -196,6 +212,7 @@ class OverloadController {
   OverloadOptions options_;
   OverloadStats stats_;
   double confidence_ewma_ = 1.0;
+  double service_ewma_ = 0.0;
   bool in_reject_ = false;
 
   struct Backoff {

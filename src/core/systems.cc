@@ -206,8 +206,10 @@ void MetisSystem::Accept(const RagQuery& query) {
     bool depth_shed = false;
     bool synthesis_degraded = false;
     bool precision_shed = false;
+    bool hybrid_shed = false;
     if (overload_ != nullptr) {
       overload_->ObserveConfidence(outcome.profile.confidence);
+      overload_->ObserveServiceEstimate(decision.est_service_s);
       decision_level = overload_->Assess();
       if (decision_level >= OverloadLevel::kCheapSynthesis) {
         const RagConfig& cheap = overload_->options().cheap_config;
@@ -251,11 +253,22 @@ void MetisSystem::Accept(const RagQuery& query) {
           overload_->NoteDepthShed();
         }
       }
+      if (decision_level >= OverloadLevel::kShedDepth &&
+          decision.retrieval.hybrid && decision.retrieval.dense_weight > 0 &&
+          decision.retrieval.lexical_weight > 0) {
+        // Under pressure a fused retrieval costs two scans; collapse to the
+        // cheapest single backend (metadata filters stay — they only shrink
+        // the remaining scan).
+        decision.retrieval = HybridRouter::ShedToSingleBackend(decision.retrieval);
+        hybrid_shed = true;
+        overload_->NoteHybridShed();
+      }
     }
 
     executor_->Execute(query, decision.config, decision.retrieval,
                        [this, query, arrival, outcome, decision, low_confidence, decision_level,
-                        depth_shed, synthesis_degraded, precision_shed](RagResult result) {
+                        depth_shed, synthesis_degraded, precision_shed,
+                        hybrid_shed](RagResult result) {
       QueryRecord rec = MakeRecord("metis", query, decision.config, arrival, sim_->now(),
                                    std::move(result));
       rec.retrieval_quality = decision.retrieval;
@@ -269,6 +282,7 @@ void MetisSystem::Accept(const RagQuery& query) {
       rec.depth_shed = depth_shed;
       rec.synthesis_degraded = synthesis_degraded;
       rec.precision_shed = precision_shed;
+      rec.hybrid_shed = hybrid_shed;
       rec.est_service_s = decision.est_service_s;
       rec.budget_trimmed = decision.budget_trimmed;
       rec.depth_traded = decision.depth_traded;

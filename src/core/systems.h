@@ -58,6 +58,7 @@ struct QueryRecord {
   bool depth_shed = false;     // Rung 1 applied: retrieval budget clamped.
   bool synthesis_degraded = false;  // Rung 2 applied: cheap synthesis config.
   bool precision_shed = false;      // Rung 3 applied: quantized scan tier.
+  bool hybrid_shed = false;    // Fused retrieval collapsed to one backend.
 
   // --- Joint co-scheduling (JointSchedulerOptions::e2e_budget_s) ---
   double est_service_s = 0;    // Scheduler's service-time prediction.

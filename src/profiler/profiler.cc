@@ -8,6 +8,57 @@
 
 namespace metis {
 
+const char* QueryTaskTypeName(QueryTaskType t) {
+  switch (t) {
+    case QueryTaskType::kFactual:
+      return "factual";
+    case QueryTaskType::kSemantic:
+      return "semantic";
+    case QueryTaskType::kTemporal:
+      return "temporal";
+    case QueryTaskType::kComparative:
+      return "comparative";
+  }
+  return "factual";
+}
+
+QueryTaskType ClassifyTaskType(const std::vector<std::string>& tokens, int* time_bucket_out) {
+  bool temporal = false, comparative = false, semantic = false;
+  int bucket = -1;
+  for (const std::string& t : tokens) {
+    if (t == "when") {
+      temporal = true;
+    } else if (t.size() > 6 && t.compare(0, 6, "period") == 0) {
+      // "period3" survives tokenization as one alphanumeric token; a
+      // digits-only suffix is the query's time bucket.
+      bool digits = true;
+      int value = 0;
+      for (size_t i = 6; i < t.size(); ++i) {
+        if (t[i] < '0' || t[i] > '9') {
+          digits = false;
+          break;
+        }
+        value = value * 10 + (t[i] - '0');
+      }
+      if (digits) {
+        temporal = true;
+        bucket = value;
+      }
+    } else if (t == "compare") {
+      comparative = true;
+    } else if (t == "why" || t == "explain" || t == "summarize") {
+      semantic = true;
+    }
+  }
+  if (time_bucket_out != nullptr) {
+    *time_bucket_out = bucket;
+  }
+  if (temporal) return QueryTaskType::kTemporal;
+  if (comparative) return QueryTaskType::kComparative;
+  if (semantic) return QueryTaskType::kSemantic;
+  return QueryTaskType::kFactual;
+}
+
 ProfilerParams Gpt4oProfilerParams() {
   ProfilerParams p;
   p.base_error_rate = 0.035;
@@ -70,6 +121,9 @@ QueryProfiler::Outcome QueryProfiler::Estimate(const RagQuery& query) {
   bool cue_joint = set.count("compare") > 0 || set.count("summarize") > 0 ||
                    set.count("identify") > 0 || set.count("jointly") > 0;
   bool cue_underspecified = set.count("recent") > 0;  // "...the recent records of X".
+  // Hybrid-routing cues — RNG-free, so the noise process below is untouched.
+  int cue_time_bucket = -1;
+  QueryTaskType cue_task = ClassifyTaskType(tokens, &cue_time_bucket);
 
   int pieces;
   int number_cue = FirstNumberWord(tokens);
@@ -105,6 +159,8 @@ QueryProfiler::Outcome QueryProfiler::Estimate(const RagQuery& query) {
   QueryProfile profile;
   profile.high_complexity = cue_high;
   profile.requires_joint = cue_joint;
+  profile.task_type = cue_task;
+  profile.time_bucket = cue_time_bucket;
 
   if (cue_underspecified) {
     // No quantity cue: the profiler must guess the piece count. Feedback

@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/llm/engine.h"
 #include "src/sim/simulator.h"
@@ -36,6 +37,30 @@
 #include "src/workload/dataset.h"
 
 namespace metis {
+
+// Task type the hybrid retrieval router keys its per-backend weights on
+// (src/core/hybrid_router.h): factual lookups favor exact-term matching,
+// semantic/explanatory questions favor the dense embedding space, temporal
+// questions carry a time cue the metadata filter can act on, and comparative
+// questions spread their evidence across both spaces.
+enum class QueryTaskType : uint8_t {
+  kFactual = 0,
+  kSemantic = 1,
+  kTemporal = 2,
+  kComparative = 3,
+};
+inline constexpr int kNumQueryTaskTypes = 4;
+
+// Stable lowercase name ("factual", ...) for logs and bench tags.
+const char* QueryTaskTypeName(QueryTaskType t);
+
+// RNG-free task-type classification over tokenized query text (the keyword
+// cues of the workload grammar). Priority: temporal ("when", or a
+// "period<digits>" token — which also yields the query's time bucket) >
+// comparative ("compare") > semantic ("why"/"explain"/"summarize") > factual.
+// `time_bucket_out` (optional) receives the parsed period bucket, or -1.
+QueryTaskType ClassifyTaskType(const std::vector<std::string>& tokens,
+                               int* time_bucket_out = nullptr);
 
 // The four estimated dimensions (paper Fig. 7) plus the confidence score.
 struct QueryProfile {
@@ -45,6 +70,10 @@ struct QueryProfile {
   int summary_min_tokens = 30; // 30..200 range estimate.
   int summary_max_tokens = 60;
   double confidence = 1.0;     // From output log-probs, 0..1.
+  // Hybrid-routing cues, classified RNG-free from the query text (so adding
+  // them never perturbs the noise process above).
+  QueryTaskType task_type = QueryTaskType::kFactual;
+  int time_bucket = -1;  // Parsed "period<b>" cue, or -1 when absent.
 };
 
 struct ProfilerParams {

@@ -54,9 +54,12 @@ std::string IndexOptionsKey(const RetrievalIndexOptions& o) {
   // Quantized-mirror build knobs apply to every backend: a quant-enabled and
   // a quant-free build of the same corpus must not alias (the calibrator's
   // tier sweep keys off index().quantizers()).
-  std::string quant = StrFormat("q%d%d:%zu:%zu:%zu", o.quant.sq ? 1 : 0,
+  // The lexical flag splits the cache too: a lexical-enabled database builds
+  // (and serves from) a BM25 inverted index a dense-only build lacks.
+  std::string quant = StrFormat("q%d%d:%zu:%zu:%zu:lex%d", o.quant.sq ? 1 : 0,
                                 o.quant.pq ? 1 : 0, o.quant.pq_m,
-                                o.quant.pq_train_rows, o.quant.pq_train_iters);
+                                o.quant.pq_train_rows, o.quant.pq_train_iters,
+                                o.lexical ? 1 : 0);
   if (o.backend == RetrievalIndexOptions::Backend::kFlat) {
     return StrFormat("b%d:s%zu:%s", static_cast<int>(o.backend), o.shards,
                      quant.c_str());
@@ -412,6 +415,15 @@ JointSchedulerOptions EffectiveSchedulerOptions(const MixedRunSpec& spec, size_t
                       ? calibrator.Calibrate(dataset)
                       : calibrator.DeriveFromProfile(dataset.profile(),
                                                      ivf != nullptr ? ivf->nlist() : 0);
+  // Fourth calibration axis: per-dataset hybrid backend weights. Only refines
+  // an already-enabled router table (hybrid off stays bit-identical), and
+  // only under offline calibration — the weight sweep needs the holdout's
+  // gold labels, like the tier sweep.
+  if (options.hybrid.enabled &&
+      spec.depth_calibration == MixedRunSpec::DepthCalibration::kOffline &&
+      dataset.db().lexical_index() != nullptr) {
+    options.hybrid = calibrator.CalibrateHybridWeights(dataset, options.hybrid);
+  }
   return options;
 }
 
@@ -545,6 +557,9 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
     if (ds.dataset->db().ivf_index() != nullptr) {
       ds.dataset->db().ivf_index()->ResetProbeStats();
     }
+    // Same contract for the hybrid counters (the weight calibration above
+    // retrieves through the database).
+    ds.dataset->db().ResetHybridStats();
   }
 
   // Independent arrival streams per dataset, all on the shared engine.
@@ -623,6 +638,7 @@ std::vector<RunMetrics> RunMixedExperiment(const MixedRunSpec& spec) {
       metrics.mean_probes = ds.dataset->db().ivf_index()->mean_probes();
       metrics.probe_histogram = ds.dataset->db().ivf_index()->probe_histogram();
     }
+    metrics.hybrid = ds.dataset->db().hybrid_stats();
     FillIngestMetrics(metrics, ds.dataset->db());
     if (model.api_model) {
       double cost = 0;
@@ -669,6 +685,7 @@ RunMetrics RunExperiment(const RunSpec& spec) {
   if (ivf != nullptr) {
     ivf->ResetProbeStats();
   }
+  dataset->db().ResetHybridStats();
 
   Stack stack;
   const ModelSpec& model = GetModelSpec(spec.serving_model);
@@ -811,6 +828,7 @@ RunMetrics RunExperiment(const RunSpec& spec) {
     metrics.mean_probes = ivf_now->mean_probes();
     metrics.probe_histogram = ivf_now->probe_histogram();
   }
+  metrics.hybrid = dataset->db().hybrid_stats();
   FillIngestMetrics(metrics, dataset->db());
 
   if (model.api_model) {

@@ -185,6 +185,10 @@ struct RunMetrics {
   // (JointSchedulerOptions::per_query_depth) the spread shows which budgets
   // the RetrievalDepthPolicy actually assigned.
   std::vector<uint64_t> probe_histogram;
+  // Hybrid retrieval accounting (vectordb.h HybridSearchStats): dense /
+  // lexical backend scans and fused queries this run issued. All zeros for a
+  // dense-only stack (the hybrid path was never taken).
+  HybridSearchStats hybrid;
   // Mutable-index runs only: what the ingest stream did and where the index's
   // segment lifecycle ended up (all zeros for static-index runs).
   IngestMetrics ingest;

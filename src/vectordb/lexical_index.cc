@@ -1,0 +1,329 @@
+#include "src/vectordb/lexical_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/text/tokenizer.h"
+
+namespace metis {
+namespace {
+
+constexpr double kBm25K1 = 1.2;
+constexpr double kBm25B = 0.75;
+
+// One term's BM25 contribution. Pure double arithmetic over live-set
+// statistics — bit-deterministic for a given (tf, doc_len, idf, avgdl)
+// regardless of which structure the posting was read from.
+double TermScore(double idf, int32_t tf, int32_t doc_len, double avgdl) {
+  double norm = kBm25K1 * (1.0 - kBm25B + kBm25B * (static_cast<double>(doc_len) / avgdl));
+  double tfd = static_cast<double>(tf);
+  return idf * (tfd * (kBm25K1 + 1.0)) / (tfd + norm);
+}
+
+}  // namespace
+
+LexicalIndex::LexicalIndex(size_t num_shards, size_t memtable_rows, size_t compact_segments)
+    : memtable_rows_(memtable_rows), compact_segments_(compact_segments) {
+  METIS_CHECK(num_shards >= 1);
+  METIS_CHECK(memtable_rows_ >= 1);
+  METIS_CHECK(compact_segments_ >= 2);
+  shards_.resize(num_shards);
+}
+
+void LexicalIndex::Add(ChunkId id, const std::string& text) {
+  METIS_CHECK(docs_.find(id) == docs_.end());
+  std::vector<std::string> tokens = Tokenize(text);
+
+  DocInfo info;
+  info.len = static_cast<int32_t>(tokens.size());
+  info.order = next_order_++;
+  info.live = true;
+  std::sort(tokens.begin(), tokens.end());
+  for (size_t i = 0; i < tokens.size();) {
+    size_t j = i;
+    while (j < tokens.size() && tokens[j] == tokens[i]) ++j;
+    info.terms.emplace_back(tokens[i], static_cast<int32_t>(j - i));
+    i = j;
+  }
+
+  Shard& shard = shards_[ShardOfId(id, shards_.size())];
+  for (const auto& [term, tf] : info.terms) {
+    shard.memtable[term].push_back(Posting{id, tf, info.len, info.order});
+    ++df_[term];
+  }
+  ++shard.memtable_docs;
+  ++live_docs_;
+  total_live_len_ += static_cast<uint64_t>(info.len);
+  docs_.emplace(id, std::move(info));
+
+  if (shard.memtable_docs >= memtable_rows_) {
+    SealMemtable(shard);
+    MaybeCompact(shard);
+  }
+}
+
+bool LexicalIndex::Remove(ChunkId id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end() || !it->second.live) {
+    return false;
+  }
+  DocInfo& info = it->second;
+  info.live = false;
+  --live_docs_;
+  total_live_len_ -= static_cast<uint64_t>(info.len);
+  for (const auto& [term, tf] : info.terms) {
+    (void)tf;
+    auto dfi = df_.find(term);
+    METIS_CHECK(dfi != df_.end() && dfi->second > 0);
+    if (--dfi->second == 0) {
+      df_.erase(dfi);
+    }
+  }
+
+  Shard& shard = shards_[ShardOfId(id, shards_.size())];
+  if (!info.sealed) {
+    // Memtable postings are mutable: erase them in place. Surviving posting
+    // order within a vector is irrelevant to results (scores accumulate per
+    // document, not per vector position).
+    for (const auto& [term, tf] : info.terms) {
+      (void)tf;
+      auto pi = shard.memtable.find(term);
+      METIS_CHECK(pi != shard.memtable.end());
+      auto& vec = pi->second;
+      vec.erase(std::remove_if(vec.begin(), vec.end(),
+                               [id](const Posting& p) { return p.id == id; }),
+                vec.end());
+      if (vec.empty()) {
+        shard.memtable.erase(pi);
+      }
+    }
+    METIS_CHECK(shard.memtable_docs > 0);
+    --shard.memtable_docs;
+  } else {
+    // Sealed postings are immutable: mask via the shard tombstone set until
+    // compaction rewrites the segments without them.
+    auto pos = std::lower_bound(shard.tombstones.begin(), shard.tombstones.end(), id);
+    shard.tombstones.insert(pos, id);
+  }
+  return true;
+}
+
+void LexicalIndex::SealMemtable(Shard& shard) {
+  if (shard.memtable.empty()) {
+    shard.memtable_docs = 0;
+    return;
+  }
+  Segment seg;
+  seg.postings = std::move(shard.memtable);
+  seg.docs = shard.memtable_docs;
+  shard.segments.push_back(std::move(seg));
+  shard.memtable.clear();
+  shard.memtable_docs = 0;
+  ++seals_;
+  // Every doc that was in this memtable is now sealed.
+  for (auto& [term, postings] : shard.segments.back().postings) {
+    (void)term;
+    for (const Posting& p : postings) {
+      docs_[p.id].sealed = true;
+    }
+  }
+}
+
+void LexicalIndex::MaybeCompact(Shard& shard) {
+  if (shard.segments.size() < compact_segments_) {
+    return;
+  }
+  Segment merged;
+  IdFilter dead{shard.tombstones.data(), shard.tombstones.data() + shard.tombstones.size()};
+  std::vector<ChunkId> live_docs_seen;
+  for (Segment& seg : shard.segments) {
+    for (auto& [term, postings] : seg.postings) {
+      auto& out = merged.postings[term];
+      for (const Posting& p : postings) {
+        if (dead.empty() || !dead.contains(p.id)) {
+          out.push_back(p);
+        }
+      }
+      if (out.empty()) {
+        merged.postings.erase(term);
+      }
+    }
+  }
+  // Normalize posting order to insertion order inside the compacted segment
+  // (not required for result determinism — scores accumulate per doc — but it
+  // keeps segment contents canonical for any prior segment layout).
+  std::vector<ChunkId> ids;
+  for (auto& [term, postings] : merged.postings) {
+    (void)term;
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) { return a.order < b.order; });
+    for (const Posting& p : postings) ids.push_back(p.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  merged.docs = ids.size();
+  shard.segments.clear();
+  if (!merged.postings.empty()) {
+    shard.segments.push_back(std::move(merged));
+  }
+  // Tombstoned ids can only have lived in sealed segments (memtable removes
+  // are eager), and every sealed segment of this shard was just rewritten
+  // without them — the mask set is empty again.
+  shard.tombstones.clear();
+  ++compactions_;
+}
+
+std::vector<LexicalIndex::Scored> LexicalIndex::ScoreShard(
+    const Shard& shard, const std::vector<QueryTerm>& terms, size_t k, const IdFilter& exclude,
+    double avgdl, uint64_t* postings_scanned, uint64_t* docs_scored) const {
+  IdFilter dead{shard.tombstones.data(), shard.tombstones.data() + shard.tombstones.size()};
+  std::unordered_map<ChunkId, Scored> acc;
+  auto scan = [&](const PostingMap& postings, const QueryTerm& qt) {
+    auto it = postings.find(qt.term);
+    if (it == postings.end()) {
+      return;
+    }
+    for (const Posting& p : it->second) {
+      ++*postings_scanned;
+      if (!dead.empty() && dead.contains(p.id)) continue;
+      if (!exclude.empty() && exclude.contains(p.id)) continue;
+      auto [ai, inserted] = acc.try_emplace(p.id, Scored{0.0, p.order, p.id});
+      (void)inserted;
+      ai->second.score += TermScore(qt.idf, p.tf, p.doc_len, avgdl);
+    }
+  };
+  // Terms outer (sorted by the caller), structures inner: a document's
+  // postings live in exactly one structure, so its score accumulates in
+  // term-sorted order no matter how the shard's lifecycle has arranged them.
+  for (const QueryTerm& qt : terms) {
+    scan(shard.memtable, qt);
+    for (const Segment& seg : shard.segments) {
+      scan(seg.postings, qt);
+    }
+  }
+  *docs_scored += acc.size();
+
+  std::vector<Scored> scored;
+  scored.reserve(acc.size());
+  for (const auto& [id, s] : acc) {
+    (void)id;
+    scored.push_back(s);
+  }
+  auto better = [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.order < b.order;
+  };
+  if (scored.size() > k) {
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(), better);
+    scored.resize(k);
+  } else {
+    std::sort(scored.begin(), scored.end(), better);
+  }
+  return scored;
+}
+
+std::vector<SearchHit> LexicalIndex::Search(const std::string& query_text, size_t k,
+                                            const IdFilter& exclude, ThreadPool* pool) const {
+  searches_.fetch_add(1, std::memory_order_relaxed);
+  if (k == 0 || live_docs_ == 0) {
+    return {};
+  }
+  // Sorted unique query terms with live-set idf. Terms with df == 0 have no
+  // live postings anywhere and are dropped up front.
+  std::vector<std::string> tokens = Tokenize(query_text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  double n = static_cast<double>(live_docs_);
+  std::vector<QueryTerm> terms;
+  terms.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    auto it = df_.find(t);
+    if (it == df_.end()) continue;
+    double df = static_cast<double>(it->second);
+    double idf = std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+    terms.push_back(QueryTerm{std::move(t), idf});
+  }
+  if (terms.empty()) {
+    return {};
+  }
+  double avgdl = static_cast<double>(total_live_len_) / n;
+
+  size_t num_shards = shards_.size();
+  std::vector<std::vector<Scored>> per_shard(num_shards);
+  std::vector<uint64_t> postings(num_shards, 0), docs(num_shards, 0);
+  auto score_range = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      per_shard[s] =
+          ScoreShard(shards_[s], terms, k, exclude, avgdl, &postings[s], &docs[s]);
+    }
+  };
+  if (pool != nullptr && num_shards > 1) {
+    pool->ParallelFor(num_shards, score_range);
+  } else {
+    score_range(0, num_shards);
+  }
+
+  uint64_t total_postings = 0, total_docs = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    total_postings += postings[s];
+    total_docs += docs[s];
+  }
+  postings_scanned_.fetch_add(total_postings, std::memory_order_relaxed);
+  docs_scored_.fetch_add(total_docs, std::memory_order_relaxed);
+
+  // Merge per-shard top-k under the shared total order. Documents are
+  // disjoint across shards and per-doc scores are structure-invariant, so
+  // this reproduces the single-shard ranking bit for bit.
+  std::vector<Scored> merged;
+  for (auto& list : per_shard) {
+    merged.insert(merged.end(), list.begin(), list.end());
+  }
+  std::sort(merged.begin(), merged.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.order < b.order;
+  });
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(merged.size());
+  for (const Scored& s : merged) {
+    hits.push_back(SearchHit{s.id, -static_cast<float>(s.score)});
+  }
+  return hits;
+}
+
+size_t LexicalIndex::num_segments() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    n += s.segments.size();
+  }
+  return n;
+}
+
+size_t LexicalIndex::memtable_docs() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    n += s.memtable_docs;
+  }
+  return n;
+}
+
+LexicalIndexStats LexicalIndex::stats() const {
+  LexicalIndexStats out;
+  out.searches = searches_.load(std::memory_order_relaxed);
+  out.postings_scanned = postings_scanned_.load(std::memory_order_relaxed);
+  out.docs_scored = docs_scored_.load(std::memory_order_relaxed);
+  out.seals = seals_;
+  out.compactions = compactions_;
+  return out;
+}
+
+void LexicalIndex::ResetSearchStats() const {
+  searches_.store(0, std::memory_order_relaxed);
+  postings_scanned_.store(0, std::memory_order_relaxed);
+  docs_scored_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace metis

@@ -1,0 +1,159 @@
+// Lexical retrieval backend: an inverted posting-list BM25 index over chunk
+// text, the second leg of the hybrid Retriever layer (dense + lexical +
+// metadata filters; see docs/ARCHITECTURE.md "Hybrid retrieval").
+//
+// Scoring is Okapi BM25 (k1 = 1.2, b = 0.75) with the Lucene-style
+// non-negative idf
+//
+//     idf(t) = ln((N - df(t) + 0.5) / (df(t) + 0.5) + 1)
+//
+// where N, avgdl, and df(t) are EXACT statistics of the live document set —
+// not approximations frozen at segment-build time. Add maintains them
+// incrementally and Remove decrements them from the stored per-document term
+// list, so a score computed at any point in the index's lifecycle is
+// bit-identical to a fresh build over the same live set.
+//
+// Determinism contract (mirrors the dense substrate):
+//   - Documents are hash-partitioned across shards by the same ShardOfId
+//     used by the dense IndexShards, and each shard runs the memtable ->
+//     sealed segment -> compaction lifecycle of MutableIndexOptions. None of
+//     that structure is visible in results: a document's postings live in
+//     exactly one structure at a time, query terms are deduplicated and
+//     iterated in sorted order, and per-document scores accumulate in double
+//     — so each document's score is a pure function of (its term
+//     frequencies, the live-set statistics), invariant to shard count,
+//     segment layout, and thread count.
+//   - Ranking runs under the (score descending, insertion order ascending)
+//     total order. Insertion order is the global Add order, the same
+//     tie-break role candidate order plays in the dense indexes. Per-shard
+//     top-k heaps merge under that total order on the calling thread, so any
+//     shard x thread combination returns bit-identical hits.
+//
+// Search returns SearchHit with distance = -score, so "lower distance =
+// better" holds for both backends and fusion code can stay backend-blind.
+
+#ifndef METIS_SRC_VECTORDB_LEXICAL_INDEX_H_
+#define METIS_SRC_VECTORDB_LEXICAL_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/vectordb/vectordb.h"
+
+namespace metis {
+
+// Snapshot of the search-side work counters (hybrid benches report lexical
+// scan cost as postings scanned, the lexical analogue of rows visited).
+struct LexicalIndexStats {
+  uint64_t searches = 0;
+  uint64_t postings_scanned = 0;
+  uint64_t docs_scored = 0;
+  uint64_t seals = 0;
+  uint64_t compactions = 0;
+};
+
+class LexicalIndex {
+ public:
+  explicit LexicalIndex(size_t num_shards = 1, size_t memtable_rows = 256,
+                        size_t compact_segments = 8);
+
+  // Tokenizes `text` (src/text/ tokenizer — the same tokens F1 scoring and
+  // the profiler see) and indexes the document. Ids must be unique.
+  void Add(ChunkId id, const std::string& text);
+
+  // Tombstones a document: it never appears in results again and the live
+  // statistics (N, avgdl, df) are decremented exactly. Returns true when the
+  // id was live. Memtable postings are erased eagerly; sealed postings are
+  // masked until their shard's next compaction rewrites them away.
+  bool Remove(ChunkId id);
+
+  // Top-k by BM25 over the live set, best first, under the
+  // (score desc, insertion order asc) total order. `exclude` is an extra
+  // sorted id set filtered inside the scan (metadata-filter push-down);
+  // tombstones are always filtered. `pool` shards the scan across workers —
+  // results are bit-identical for any pool size. distance = -score.
+  std::vector<SearchHit> Search(const std::string& query_text, size_t k,
+                                const IdFilter& exclude = {},
+                                ThreadPool* pool = nullptr) const;
+
+  size_t num_docs() const { return live_docs_; }
+  size_t num_shards() const { return shards_.size(); }
+  // Total sealed (uncompacted + compacted) segments across shards.
+  size_t num_segments() const;
+  // Documents currently in shard memtables (live only).
+  size_t memtable_docs() const;
+
+  LexicalIndexStats stats() const;
+  void ResetSearchStats() const;
+
+ private:
+  struct Posting {
+    ChunkId id;
+    int32_t tf;
+    int32_t doc_len;
+    uint32_t order;  // Global insertion order (tie-break rank).
+  };
+  using PostingMap = std::unordered_map<std::string, std::vector<Posting>>;
+
+  struct Segment {
+    PostingMap postings;
+    size_t docs = 0;  // Docs sealed into this segment (live + dead).
+  };
+
+  struct Shard {
+    PostingMap memtable;
+    size_t memtable_docs = 0;
+    std::vector<Segment> segments;
+    std::vector<ChunkId> tombstones;  // Sorted; ids masked in sealed segments.
+  };
+
+  struct DocInfo {
+    int32_t len = 0;
+    uint32_t order = 0;
+    bool live = false;
+    bool sealed = false;  // Postings moved out of the memtable.
+    // Sorted unique terms with counts — what Remove needs to decrement df and
+    // erase memtable postings without re-tokenizing.
+    std::vector<std::pair<std::string, int32_t>> terms;
+  };
+
+  void SealMemtable(Shard& shard);
+  void MaybeCompact(Shard& shard);
+  // Scores shard s for the resolved query terms; returns the shard's top-k
+  // as (score, order, id), best first.
+  struct Scored {
+    double score;
+    uint32_t order;
+    ChunkId id;
+  };
+  struct QueryTerm {
+    std::string term;
+    double idf;
+  };
+  std::vector<Scored> ScoreShard(const Shard& shard, const std::vector<QueryTerm>& terms,
+                                 size_t k, const IdFilter& exclude, double avgdl,
+                                 uint64_t* postings_scanned, uint64_t* docs_scored) const;
+
+  size_t memtable_rows_;
+  size_t compact_segments_;
+  std::vector<Shard> shards_;
+  std::unordered_map<ChunkId, DocInfo> docs_;
+  std::unordered_map<std::string, int64_t> df_;
+  size_t live_docs_ = 0;
+  uint64_t total_live_len_ = 0;
+  uint32_t next_order_ = 0;
+  uint64_t seals_ = 0;
+  uint64_t compactions_ = 0;
+
+  mutable std::atomic<uint64_t> searches_{0};
+  mutable std::atomic<uint64_t> postings_scanned_{0};
+  mutable std::atomic<uint64_t> docs_scored_{0};
+};
+
+}  // namespace metis
+
+#endif  // METIS_SRC_VECTORDB_LEXICAL_INDEX_H_

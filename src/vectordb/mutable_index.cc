@@ -583,6 +583,46 @@ std::vector<SearchHit> MutableIndex::SearchPinned(const MutableEpoch& epoch,
   return merged.Drain();
 }
 
+std::vector<SearchHit> MutableIndex::SearchFiltered(const Embedding& query, size_t k,
+                                                    const RetrievalQuality& quality,
+                                                    const IdFilter& exclude) const {
+  METIS_CHECK_EQ(query.size(), dim_);
+  if (k == 0) {
+    return {};
+  }
+  std::shared_ptr<const MutableEpoch> epoch = PinEpoch();
+  // Union the epoch's tombstones with the caller's exclusion set (both
+  // sorted), so one binary-searchable filter serves every scan below.
+  std::vector<ChunkId> dead_union(epoch->tombstones->size() +
+                                  static_cast<size_t>(exclude.end - exclude.begin));
+  dead_union.erase(std::set_union(epoch->tombstones->begin(), epoch->tombstones->end(),
+                                  exclude.begin, exclude.end, dead_union.begin()),
+                   dead_union.end());
+  IdFilter dead = FilterOf(dead_union);
+  // Filtered scans are always exact: strip any quantized-tier request.
+  RetrievalQuality exact = quality;
+  exact.precision = RetrievalPrecision::kFp32;
+  double qnorm = SquaredNormBlocked(query.data(), dim_);
+  BoundedTopK merged(k);
+  if (epoch->base_searchable) {
+    for (const OrderedHit& h : epoch->base->SearchOrdered(query, k, exact, dead)) {
+      merged.Offer(h.distance, h.order, h.id);
+    }
+  } else {
+    ScanLogRange(0, epoch->base_cut, query.data(), qnorm, dead, merged);
+  }
+  for (const MutableSegment& seg : epoch->segments) {
+    if (seg.compacted != nullptr) {
+      ScanRowsInto(seg.compacted->rows, 0, seg.compacted->orders.size(), query.data(), qnorm,
+                   seg.compacted->orders.data(), 0, dead, merged);
+    } else {
+      ScanLogRange(seg.lo, seg.hi, query.data(), qnorm, dead, merged);
+    }
+  }
+  ScanLogRange(epoch->memtable_lo, epoch->memtable_hi, query.data(), qnorm, dead, merged);
+  return merged.Drain();
+}
+
 std::vector<SearchHit> MutableIndex::Search(const Embedding& query, size_t k) const {
   return Search(query, k, RetrievalQuality{});
 }

@@ -143,6 +143,13 @@ class MutableIndex : public VectorIndex {
   std::vector<std::vector<SearchHit>> SearchBatch(
       const std::vector<Embedding>& queries, size_t k, ThreadPool* pool,
       const std::vector<RetrievalQuality>& qualities) const override;
+  // Exclusion-aware search (the hybrid metadata-filter push-down): like
+  // Search(query, k, quality) but with `exclude` (sorted ids) filtered inside
+  // every scan, unioned with the epoch's tombstones. Filtered scans always
+  // run the exact fp32 tier (quantized-tier requests are stripped).
+  std::vector<SearchHit> SearchFiltered(const Embedding& query, size_t k,
+                                        const RetrievalQuality& quality,
+                                        const IdFilter& exclude) const;
   // Live rows (inserted minus deleted).
   size_t size() const override;
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/vectordb/kernels.h"
+#include "src/vectordb/lexical_index.h"
 #include "src/vectordb/mutable_index.h"
 #include "src/vectordb/quantize.h"
 #include "src/vectordb/topk.h"
@@ -1100,7 +1102,15 @@ VectorDatabase::VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadat
   } else {
     index_ = MakeBackendIndex(embedder_.dim(), index_options_, &ivf_);
   }
+  if (index_options_.lexical) {
+    lexical_ = std::make_unique<LexicalIndex>(std::max<size_t>(1, index_options_.shards),
+                                              index_options_.mutation.memtable_rows,
+                                              index_options_.mutation.compact_segments);
+  }
 }
+
+// Out of line: LexicalIndex is incomplete in the header.
+VectorDatabase::~VectorDatabase() = default;
 
 const IvfL2Index* VectorDatabase::ivf_index() const {
   return mutable_ != nullptr ? mutable_->base_ivf() : ivf_;
@@ -1109,6 +1119,9 @@ const IvfL2Index* VectorDatabase::ivf_index() const {
 ChunkId VectorDatabase::AddChunk(Chunk chunk) {
   chunk.id = static_cast<ChunkId>(chunks_.size());
   index_->Add(chunk.id, embedder_.Embed(chunk.text));
+  if (lexical_ != nullptr) {
+    lexical_->Add(chunk.id, chunk.text);
+  }
   chunks_.push_back(std::move(chunk));
   deleted_.push_back(false);
   return chunks_.back().id;
@@ -1131,6 +1144,9 @@ std::vector<ChunkId> VectorDatabase::AddChunks(std::vector<Chunk> chunks, Thread
     Chunk& chunk = chunks[i];
     chunk.id = static_cast<ChunkId>(chunks_.size());
     index_->Add(chunk.id, embeddings[i]);
+    if (lexical_ != nullptr) {
+      lexical_->Add(chunk.id, chunk.text);
+    }
     chunks_.push_back(std::move(chunk));
     deleted_.push_back(false);
     ids.push_back(chunks_.back().id);
@@ -1167,6 +1183,9 @@ size_t VectorDatabase::DeleteChunks(const std::vector<ChunkId>& ids) {
       continue;
     }
     METIS_CHECK(mutable_->Delete(id));
+    if (lexical_ != nullptr) {
+      METIS_CHECK(lexical_->Remove(id));
+    }
     deleted_[static_cast<size_t>(id)] = true;
     ++deleted_count_;
     ++deleted;
@@ -1180,15 +1199,153 @@ bool VectorDatabase::chunk_live(ChunkId id) const {
   return !deleted_[static_cast<size_t>(id)];
 }
 
+namespace {
+
+// Does this quality leave the pure-dense fast path? (The fast path must stay
+// byte-for-byte the pre-hybrid code: parity when the knob is off.)
+bool NeedsHybridPath(const RetrievalQuality& quality) {
+  return quality.hybrid || quality.filter.active();
+}
+
+// Deterministic weighted reciprocal-rank fusion over the two backends'
+// candidate lists (fixed backend order: dense, then lexical):
+//
+//     fused(d) = sum_b  w_b / (60 + rank_b(d) + 1)
+//
+// with ranks 0-based and the classic RRF damping constant 60. The final
+// ranking runs under (fused score desc, chunk id asc) — a total order over
+// deterministic inputs, so fusion is bit-stable for any shard/thread count.
+// Returned distance = -fused score (lower = better, like both legs).
+std::vector<SearchHit> FuseReciprocalRank(const std::vector<SearchHit>& dense, float dense_w,
+                                          const std::vector<SearchHit>& lexical, float lexical_w,
+                                          size_t k) {
+  struct Fused {
+    double score = 0;
+    ChunkId id = -1;
+  };
+  std::vector<Fused> fused;
+  std::unordered_map<ChunkId, size_t> slot;
+  auto fold = [&](const std::vector<SearchHit>& hits, double w) {
+    for (size_t rank = 0; rank < hits.size(); ++rank) {
+      auto [it, inserted] = slot.try_emplace(hits[rank].id, fused.size());
+      if (inserted) {
+        fused.push_back(Fused{0.0, hits[rank].id});
+      }
+      fused[it->second].score += w / (60.0 + static_cast<double>(rank) + 1.0);
+    }
+  };
+  fold(dense, static_cast<double>(dense_w));
+  fold(lexical, static_cast<double>(lexical_w));
+  std::sort(fused.begin(), fused.end(), [](const Fused& a, const Fused& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (fused.size() > k) {
+    fused.resize(k);
+  }
+  std::vector<SearchHit> out;
+  out.reserve(fused.size());
+  for (const Fused& f : fused) {
+    out.push_back(SearchHit{f.id, -static_cast<float>(f.score)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<ChunkId>> VectorDatabase::CompileFilter(
+    const MetadataFilter& filter) const {
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  if (cached_filter_excluded_ != nullptr && cached_filter_ == filter &&
+      cached_filter_chunks_ == chunks_.size() && cached_filter_deletes_ == deleted_count_) {
+    return cached_filter_excluded_;
+  }
+  auto excluded = std::make_shared<std::vector<ChunkId>>();
+  for (const Chunk& c : chunks_) {
+    if (!filter.Matches(c)) {
+      excluded->push_back(c.id);  // Ids are assigned in order: already sorted.
+    }
+  }
+  cached_filter_ = filter;
+  cached_filter_chunks_ = chunks_.size();
+  cached_filter_deletes_ = deleted_count_;
+  cached_filter_excluded_ = excluded;
+  return excluded;
+}
+
+std::vector<SearchHit> VectorDatabase::RetrieveHybrid(const std::string& query_text, size_t k,
+                                                      const RetrievalQuality& quality) const {
+  // Compile the metadata filter into a sorted excluded-id set, pushed into
+  // every backend's scan (inside the scan, before top-k — the tombstone rule).
+  std::shared_ptr<const std::vector<ChunkId>> excluded;
+  IdFilter exclude;
+  if (quality.filter.active()) {
+    excluded = CompileFilter(quality.filter);
+    exclude = IdFilter{excluded->data(), excluded->data() + excluded->size()};
+  }
+
+  bool want_dense = !quality.hybrid || quality.dense_weight > 0;
+  // The lexical leg needs a lexical index; without one the query serves
+  // dense-only (the knob can only be cheaper, never wrong).
+  bool want_lexical = quality.hybrid && quality.lexical_weight > 0 && lexical_ != nullptr;
+  if (!want_dense && !want_lexical) {
+    want_dense = true;  // Both weights zero: degenerate, serve dense.
+  }
+
+  std::vector<SearchHit> dense_hits;
+  if (want_dense) {
+    const Embedding& query = query_cache_.Get(query_text);
+    if (exclude.empty()) {
+      dense_hits = index_->Search(query, k, quality);
+    } else if (mutable_ != nullptr) {
+      dense_hits = mutable_->SearchFiltered(query, k, quality, exclude);
+    } else {
+      // SearchOrdered is the static backends' exclusion-aware scan (always
+      // exact fp32; filtered scans don't ride quantized mirrors).
+      for (const OrderedHit& h : index_->SearchOrdered(query, k, quality, exclude)) {
+        dense_hits.push_back(SearchHit{h.id, h.distance});
+      }
+    }
+    dense_searches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<SearchHit> lexical_hits;
+  if (want_lexical) {
+    lexical_hits = lexical_->Search(query_text, k, exclude, search_pool_);
+    lexical_searches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (!want_lexical) {
+    return dense_hits;  // Filter-only or dense-only: the leg's native ranking.
+  }
+  if (!want_dense) {
+    return lexical_hits;  // Lexical-only: BM25's native ranking.
+  }
+  fused_queries_.fetch_add(1, std::memory_order_relaxed);
+  return FuseReciprocalRank(dense_hits, quality.dense_weight, lexical_hits,
+                            quality.lexical_weight, k);
+}
+
 std::vector<SearchHit> VectorDatabase::RetrieveWithDistances(const std::string& query_text,
                                                              size_t k,
                                                              const RetrievalQuality& quality) const {
+  if (NeedsHybridPath(quality)) {
+    return RetrieveHybrid(query_text, k, quality);
+  }
   return index_->Search(query_cache_.Get(query_text), k, quality);
 }
 
 std::vector<std::vector<SearchHit>> VectorDatabase::RetrieveBatch(
     const std::vector<std::string>& query_texts, size_t k,
     const RetrievalQuality& quality) const {
+  if (NeedsHybridPath(quality)) {
+    std::vector<std::vector<SearchHit>> results;
+    results.reserve(query_texts.size());
+    for (const std::string& text : query_texts) {
+      results.push_back(RetrieveHybrid(text, k, quality));
+    }
+    return results;
+  }
   // GetBatch serves cache hits and embeds the misses in one EmbedBatch
   // (sharded across the search pool), returning owned copies so later cache
   // evictions cannot invalidate the batch.
@@ -1200,8 +1357,62 @@ std::vector<std::vector<SearchHit>> VectorDatabase::RetrieveBatch(
     const std::vector<std::string>& query_texts, size_t k,
     const std::vector<RetrievalQuality>& qualities) const {
   METIS_CHECK_EQ(qualities.size(), query_texts.size());
+  bool any_hybrid = false;
+  for (const RetrievalQuality& q : qualities) {
+    if (NeedsHybridPath(q)) {
+      any_hybrid = true;
+      break;
+    }
+  }
+  if (any_hybrid) {
+    // Mixed batches split: hybrid/filtered queries run their per-query path,
+    // the plain remainder still rides one coalesced SearchBatch sweep.
+    std::vector<std::vector<SearchHit>> results(query_texts.size());
+    std::vector<size_t> plain;
+    for (size_t i = 0; i < query_texts.size(); ++i) {
+      if (NeedsHybridPath(qualities[i])) {
+        results[i] = RetrieveHybrid(query_texts[i], k, qualities[i]);
+      } else {
+        plain.push_back(i);
+      }
+    }
+    if (!plain.empty()) {
+      std::vector<std::string> texts;
+      std::vector<RetrievalQuality> quals;
+      texts.reserve(plain.size());
+      quals.reserve(plain.size());
+      for (size_t i : plain) {
+        texts.push_back(query_texts[i]);
+        quals.push_back(qualities[i]);
+      }
+      std::vector<Embedding> queries = query_cache_.GetBatch(texts, search_pool_);
+      std::vector<std::vector<SearchHit>> swept =
+          index_->SearchBatch(queries, k, search_pool_, quals);
+      for (size_t j = 0; j < plain.size(); ++j) {
+        results[plain[j]] = std::move(swept[j]);
+      }
+    }
+    return results;
+  }
   std::vector<Embedding> queries = query_cache_.GetBatch(query_texts, search_pool_);
   return index_->SearchBatch(queries, k, search_pool_, qualities);
+}
+
+HybridSearchStats VectorDatabase::hybrid_stats() const {
+  HybridSearchStats out;
+  out.dense_searches = dense_searches_.load(std::memory_order_relaxed);
+  out.lexical_searches = lexical_searches_.load(std::memory_order_relaxed);
+  out.fused_queries = fused_queries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void VectorDatabase::ResetHybridStats() const {
+  dense_searches_.store(0, std::memory_order_relaxed);
+  lexical_searches_.store(0, std::memory_order_relaxed);
+  fused_queries_.store(0, std::memory_order_relaxed);
+  if (lexical_ != nullptr) {
+    lexical_->ResetSearchStats();
+  }
 }
 
 std::vector<ChunkId> VectorDatabase::Retrieve(const std::string& query_text, size_t k,

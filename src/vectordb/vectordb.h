@@ -70,6 +70,7 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <string>
 #include <vector>
@@ -89,6 +90,33 @@ struct Chunk {
   int32_t token_count = 0;
   // Ids of workload facts contained in this chunk (empty for pure noise).
   std::vector<int32_t> fact_ids;
+  // Typed metadata attributes (hybrid retrieval's filter push-down). Assigned
+  // deterministically by DatasetGenerator as pure functions of the chunk's
+  // document layout — no RNG — so corpora that never filter are unchanged.
+  int32_t source = 0;       // Which upstream source/collection the doc came from.
+  int32_t time_bucket = 0;  // Coarse timestamp bucket of the doc.
+  int32_t section = 0;      // Section tag: chunk's index within its document.
+};
+
+// Conjunctive pre-scan filter over Chunk attributes; -1 = wildcard. Pushed
+// into both the dense and lexical scans as an id-exclusion set compiled by
+// VectorDatabase (filtering inside the scan, before top-k — the same rule
+// tombstones follow).
+struct MetadataFilter {
+  int32_t source = -1;
+  int32_t time_bucket = -1;
+  int32_t section = -1;
+
+  bool active() const { return source >= 0 || time_bucket >= 0 || section >= 0; }
+  bool Matches(const Chunk& c) const {
+    return (source < 0 || c.source == source) &&
+           (time_bucket < 0 || c.time_bucket == time_bucket) &&
+           (section < 0 || c.section == section);
+  }
+  friend bool operator==(const MetadataFilter& a, const MetadataFilter& b) {
+    return a.source == b.source && a.time_bucket == b.time_bucket && a.section == b.section;
+  }
+  friend bool operator!=(const MetadataFilter& a, const MetadataFilter& b) { return !(a == b); }
 };
 
 // Search hit: chunk id plus L2^2 distance (lower is closer).
@@ -284,6 +312,21 @@ struct RetrievalQuality {
   // exact kernel re-scores them and the best k win under (exact distance,
   // order). 0 = the default factor (4). Ignored on the fp32 tier.
   size_t rerank_factor = 0;
+  // --- Hybrid retrieval (the "which retriever" knob; src/core/hybrid_router.h) ---
+  // Off (default): the dense path above, bit-identical to pre-hybrid builds.
+  // On: the database runs the weighted backends and fuses their candidate
+  // lists by reciprocal-rank fusion. A weight-0 backend is never scanned; a
+  // single-weighted backend returns its native ranking unfused. Requires the
+  // database to have built a lexical index (RetrievalIndexOptions::lexical)
+  // for the lexical leg; without one the query serves dense-only — like the
+  // quantized tiers, the knob can only be cheaper, never wrong.
+  bool hybrid = false;
+  float dense_weight = 1.0f;
+  float lexical_weight = 0.0f;
+  // Metadata filter pushed into every backend's scan (active() == false by
+  // default). Usable with or without `hybrid`; a filtered dense scan runs on
+  // the exact fp32 tier.
+  MetadataFilter filter;
 };
 
 // The effective over-fetch multiple for a quality (0 = default 4).
@@ -757,6 +800,11 @@ struct RetrievalIndexOptions {
   // accepts InsertChunks/DeleteChunks while serving.
   bool mutable_index = false;
   MutableIndexOptions mutation;
+  // Build a BM25 lexical index (lexical_index.h) alongside the dense backend,
+  // sharded by the same `shards` and running the same memtable/compaction
+  // thresholds (`mutation`). Off by default — only hybrid RetrievalQuality
+  // reads it.
+  bool lexical = false;
 };
 
 // Builds the configured *static* backend (ignores options.mutable_index).
@@ -767,12 +815,21 @@ std::unique_ptr<VectorIndex> MakeBackendIndex(size_t dim, const RetrievalIndexOp
                                               IvfL2Index** ivf_out);
 
 class MutableIndex;
+class LexicalIndex;
+
+// Work counters for the hybrid retrieval paths (bench cost accounting).
+struct HybridSearchStats {
+  uint64_t dense_searches = 0;    // Dense-leg scans issued by hybrid/filtered paths.
+  uint64_t lexical_searches = 0;  // Lexical-leg scans issued.
+  uint64_t fused_queries = 0;     // Queries whose two legs were RRF-fused.
+};
 
 // The assembled retrieval database: chunks + embeddings + index + metadata.
 class VectorDatabase {
  public:
   VectorDatabase(EmbeddingModel embedder, DatabaseMetadata metadata,
                  RetrievalIndexOptions index_options = {});
+  ~VectorDatabase();
 
   // Not movable: the query cache points at the owned embedder.
   VectorDatabase(const VectorDatabase&) = delete;
@@ -841,9 +898,24 @@ class VectorDatabase {
   // Non-null iff index_options.mutable_index (lifecycle controls, stats).
   MutableIndex* mutable_index() { return mutable_; }
   const MutableIndex* mutable_index() const { return mutable_; }
+  // Non-null iff index_options.lexical (the BM25 backend the hybrid paths
+  // scan; stats/introspection).
+  const LexicalIndex* lexical_index() const { return lexical_.get(); }
   size_t query_cache_hits() const { return query_cache_.hits(); }
 
+  // Hybrid work counters (snapshot; relaxed atomics like the probe stats).
+  HybridSearchStats hybrid_stats() const;
+  void ResetHybridStats() const;
+
  private:
+  // The hybrid/filtered retrieval path behind RetrieveWithDistances: runs the
+  // weighted dense/lexical legs with the filter's exclusion set pushed into
+  // both scans and fuses by weighted reciprocal rank.
+  std::vector<SearchHit> RetrieveHybrid(const std::string& query_text, size_t k,
+                                        const RetrievalQuality& quality) const;
+  // Compiles quality.filter into a sorted excluded-id vector (ids FAILING the
+  // filter), memoized against (filter, corpus version).
+  std::shared_ptr<const std::vector<ChunkId>> CompileFilter(const MetadataFilter& filter) const;
   EmbeddingModel embedder_;
   DatabaseMetadata metadata_;
   RetrievalIndexOptions index_options_;
@@ -853,8 +925,23 @@ class VectorDatabase {
   std::unique_ptr<VectorIndex> index_;
   IvfL2Index* ivf_ = nullptr;      // Owned by index_ when backend == kIvf (static).
   MutableIndex* mutable_ = nullptr;  // Owned by index_ when mutable_index.
+  std::unique_ptr<LexicalIndex> lexical_;  // Non-null iff index_options.lexical.
   mutable EmbeddingCache query_cache_;
   ThreadPool* search_pool_ = nullptr;
+
+  // Single-entry filter-compilation memo: hybrid workloads reuse a small set
+  // of filters against an (often) static corpus, so recompiling the exclusion
+  // set per query would dominate. Invalidated by corpus version (chunk count +
+  // delete count). Mutex-guarded: retrievals are const and may be concurrent.
+  mutable std::mutex filter_mu_;
+  mutable MetadataFilter cached_filter_;
+  mutable size_t cached_filter_chunks_ = 0;
+  mutable size_t cached_filter_deletes_ = 0;
+  mutable std::shared_ptr<const std::vector<ChunkId>> cached_filter_excluded_;
+
+  mutable std::atomic<uint64_t> dense_searches_{0};
+  mutable std::atomic<uint64_t> lexical_searches_{0};
+  mutable std::atomic<uint64_t> fused_queries_{0};
 };
 
 }  // namespace metis

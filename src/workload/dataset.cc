@@ -147,6 +147,18 @@ DatasetProfile GetDatasetProfile(const std::string& name) {
     p.topic_fraction = 0.85;
     return p;
   }
+  // Generic "<dataset>_hybrid": the base profile with the task-type-rotated
+  // hybrid-retrieval evaluation workload (DatasetProfile::hybrid_eval).
+  const std::string hybrid_suffix = "_hybrid";
+  if (name.size() > hybrid_suffix.size() &&
+      name.compare(name.size() - hybrid_suffix.size(), hybrid_suffix.size(),
+                   hybrid_suffix) == 0) {
+    DatasetProfile p =
+        GetDatasetProfile(name.substr(0, name.size() - hybrid_suffix.size()));
+    p.name = name;
+    p.hybrid_eval = true;
+    return p;
+  }
   for (const auto& p : AllDatasetProfiles()) {
     if (p.name == name) {
       return p;
@@ -233,7 +245,9 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
   // Chunks to assemble, with the doc structure that owns them.
   std::vector<PendingChunk> pending;
   std::vector<int32_t> chunk_doc;  // Parallel doc ids for debugging.
+  std::vector<int32_t> doc_bucket;  // Per-doc time-bucket override (-1 = doc_id % buckets).
   int32_t next_doc = 0;
+  const int time_buckets = std::max(1, profile_.num_time_buckets);
 
   for (int32_t qid = 0; qid < num_queries; ++qid) {
     RagQuery q;
@@ -245,6 +259,40 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
     q.high_complexity = structure.Bernoulli(p_high);
     q.underspecified = structure.Bernoulli(profile_.p_underspecified);
 
+    // --- Hybrid-eval task rotation (only "<dataset>_hybrid" profiles; stock
+    // profiles never take these branches, so their generation streams are
+    // bit-identical to the pre-hybrid generator) ---
+    //   qid % 4: 0 factual, 1 semantic, 2 temporal, 3 comparative.
+    // The flag overrides below pick the query template carrying that type's
+    // classifier cue (profiler.h ClassifyTaskType).
+    const int hybrid_kind = profile_.hybrid_eval ? static_cast<int>(qid % 4) : -1;
+    const int hybrid_bucket = hybrid_kind == 2 ? static_cast<int>(qid) % time_buckets : -1;
+    if (hybrid_kind >= 0) {
+      q.underspecified = false;
+      switch (hybrid_kind) {
+        case 0:  // factual: "what is the ..."
+          q.num_facts = 1;
+          q.requires_joint = false;
+          q.high_complexity = false;
+          break;
+        case 1:  // semantic: "why did ... explain ..."
+          q.num_facts = 1;
+          q.requires_joint = false;
+          q.high_complexity = true;
+          break;
+        case 2:  // temporal: "when and why ..." + " in period<b>" suffix
+          q.num_facts = 1;
+          q.requires_joint = true;
+          q.high_complexity = true;
+          break;
+        case 3:  // comparative: "compare the ..."
+          q.num_facts = std::max(2, q.num_facts);
+          q.requires_joint = true;
+          q.high_complexity = false;
+          break;
+      }
+    }
+
     // --- Facts ---
     std::string relation = kRelations[structure.Index(std::size(kRelations))];
     std::vector<Fact*> gold_facts;
@@ -254,6 +302,11 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
       fact.query_id = qid;
       fact.gold = true;
       int entity_n = static_cast<int>(structure.UniformInt(2, 3));
+      if (hybrid_kind == 0) {
+        // Factual: three rare entity terms give BM25 a decisive multi-term
+        // match over the single-shared-term distractors below.
+        entity_n = 3;
+      }
       for (int e = 0; e < entity_n; ++e) {
         fact.entity_words.push_back(UniqueWord(words, unique_words));
       }
@@ -311,10 +364,20 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
       // Entity words dominate the owning chunk's topic pool (a report section
       // keeps naming its subject), which is what retrieval keys on. Tripled so
       // the entity signal stands clear of hashed-projection noise.
-      for (const auto& e : fact.entity_words) {
-        doc[slot].topic_words.push_back(e);
-        doc[slot].topic_words.push_back(e);
-        doc[slot].topic_words.push_back(e);
+      // Hybrid exceptions: factual golds (and the odd-indexed comparative
+      // golds) keep their entities at tf 1 — the fact sentence only — so the
+      // dense hashed-BoW signal stays weak there and only the lexical
+      // backend's rare-term idf recovers them.
+      bool recur = true;
+      if (hybrid_kind == 0 || (hybrid_kind == 3 && f % 2 == 1)) {
+        recur = false;
+      }
+      if (recur) {
+        for (const auto& e : fact.entity_words) {
+          doc[slot].topic_words.push_back(e);
+          doc[slot].topic_words.push_back(e);
+          doc[slot].topic_words.push_back(e);
+        }
       }
     }
 
@@ -322,6 +385,11 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
     // remaining doc chunks. They share one entity word with a gold fact, so
     // they rank close behind the gold chunks in retrieval.
     int hard_n = static_cast<int>(profile_.hard_negatives_per_fact * q.num_facts + 0.5);
+    if (hybrid_kind == 0) {
+      hard_n = std::max(hard_n, 2);  // Factual needs real dense competition.
+    } else if (hybrid_kind == 2) {
+      hard_n = 0;  // Temporal: the off-bucket decoy doc below is the distractor.
+    }
     for (int h = 0; h < hard_n; ++h) {
       Fact neg;
       neg.id = next_fact_id++;
@@ -331,9 +399,24 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
       // Shares the source fact's entity anchor (both words), so it competes
       // head-on with the gold chunk in retrieval — the distractor pattern that
       // makes over-fetching necessary (§4.2's 2-3x rule).
-      neg.entity_words.push_back(src.entity_words[0]);
-      neg.entity_words.push_back(src.entity_words[1]);
-      neg.entity_words.push_back(UniqueWord(words, unique_words));
+      // Hybrid shapes: factual/comparative distractors share only ONE entity
+      // word (they must recur hard enough to beat the tf-1 gold in the dense
+      // space while matching just 1 of 3 rare query terms in BM25); semantic
+      // distractors share the full entity anchor but at recurrence 1, so the
+      // gold chunk's tripled topic mass wins both backends.
+      if (hybrid_kind == 0 || hybrid_kind == 3) {
+        neg.entity_words.push_back(src.entity_words[0]);
+        neg.entity_words.push_back(UniqueWord(words, unique_words));
+        neg.entity_words.push_back(UniqueWord(words, unique_words));
+      } else if (hybrid_kind == 1) {
+        neg.entity_words.push_back(src.entity_words[1]);
+        neg.entity_words.push_back(src.entity_words[0]);
+        neg.entity_words.push_back(UniqueWord(words, unique_words));
+      } else {
+        neg.entity_words.push_back(src.entity_words[0]);
+        neg.entity_words.push_back(src.entity_words[1]);
+        neg.entity_words.push_back(UniqueWord(words, unique_words));
+      }
       for (int a = 0; a < profile_.answer_tokens_per_fact; ++a) {
         neg.answer_tokens.push_back(UniqueWord(words, unique_words));
       }
@@ -347,6 +430,11 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
       // retrieval width query-dependent — the variance a static num_chunks
       // cannot serve (§3).
       int reps = 2 + h % 3;
+      if (hybrid_kind == 1) {
+        reps = 1;  // Semantic golds must win the dense space decisively.
+      } else if (hybrid_kind == 3) {
+        reps = 2;  // Comparative: distractors stay below the even golds' 3.
+      }
       for (const auto& e : neg.entity_words) {
         for (int r = 0; r < reps; ++r) {
           doc[slot].topic_words.push_back(e);
@@ -360,6 +448,40 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
       chunk_doc.push_back(next_doc);
     }
     ++next_doc;
+    doc_bucket.push_back(hybrid_bucket);
+
+    if (hybrid_kind == 2) {
+      // Temporal decoy: the SAME entity anchor as the gold fact at strictly
+      // higher pool recurrence (5 vs 3), in its own doc assigned the NEXT
+      // time bucket. Both text backends rank it above the gold chunk —
+      // linear-tf dense and saturating-tf BM25 are both monotone in tf — so
+      // only the router's time-bucket metadata filter recovers the gold.
+      const Fact& src = facts[q.gold_fact_ids[0]];
+      Fact decoy;
+      decoy.id = next_fact_id++;
+      decoy.query_id = qid;
+      decoy.gold = false;
+      decoy.entity_words = src.entity_words;
+      for (int a = 0; a < profile_.answer_tokens_per_fact; ++a) {
+        decoy.answer_tokens.push_back(UniqueWord(words, unique_words));
+      }
+      decoy.sentence = FactSentence(decoy, relation);
+      PendingChunk dc;
+      dc.fact_ids.push_back(decoy.id);
+      for (int t = 0; t < 4; ++t) {
+        dc.topic_words.push_back(UniqueWord(words, unique_words));
+      }
+      for (const auto& e : decoy.entity_words) {
+        for (int r = 0; r < 5; ++r) {
+          dc.topic_words.push_back(e);
+        }
+      }
+      facts[decoy.id] = std::move(decoy);
+      pending.push_back(std::move(dc));
+      chunk_doc.push_back(next_doc);
+      ++next_doc;
+      doc_bucket.push_back((hybrid_bucket + 1) % time_buckets);
+    }
 
     // --- Query text (the only thing the LLM profiler may read) ---
     std::vector<std::string> entity_phrases;
@@ -398,6 +520,12 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
           "when and why did the %s of %s change? summarize the reasons for each shift.",
           relation.c_str(), enumeration.c_str());
     }
+    if (hybrid_kind == 2) {
+      // "periodN" survives tokenization as one alphanumeric token; the
+      // profiler parses it into QueryProfile::time_bucket (ClassifyTaskType)
+      // and the router turns it into a metadata filter.
+      q.text += StrFormat(" in period%d", hybrid_bucket);
+    }
 
     queries.push_back(std::move(q));
   }
@@ -412,6 +540,7 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
     chunk_doc.push_back(next_doc);
   }
   ++next_doc;
+  doc_bucket.push_back(-1);
 
   // --- Assemble chunk text and build the vector database ---
   DatabaseMetadata meta;
@@ -474,6 +603,20 @@ std::unique_ptr<Dataset> DatasetGenerator::Generate(int num_queries,
     chunk.text = Join(tokens, " ");
     chunk.token_count = profile_.chunk_tokens;
     chunk.fact_ids = pc.fact_ids;
+    // Typed attributes, assigned RNG-free for every dataset (metadata-filter
+    // push-down keys on them; stock generation streams are untouched):
+    // source rotates by document, time_bucket follows the document (with the
+    // per-doc override the temporal hybrid construction sets), section is the
+    // chunk's ordinal within its document.
+    chunk.source = chunk.doc_id % std::max(1, profile_.num_sources);
+    int32_t override_bucket = chunk.doc_id < static_cast<int32_t>(doc_bucket.size())
+                                  ? doc_bucket[static_cast<size_t>(chunk.doc_id)]
+                                  : -1;
+    chunk.time_bucket =
+        override_bucket >= 0 ? override_bucket : chunk.doc_id % time_buckets;
+    chunk.section = (ci > 0 && chunk_doc[ci] == chunk_doc[ci - 1])
+                        ? chunk_objs.back().section + 1
+                        : 0;
     chunk_objs.push_back(std::move(chunk));
   }
 

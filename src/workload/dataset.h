@@ -90,6 +90,22 @@ struct DatasetProfile {
   // document collections have — which is what makes per-query retrieval
   // depth matter (RAGGED: scattered-evidence queries need deeper scans).
   double topic_fraction = 0.35;
+  // --- Hybrid-retrieval evaluation (hybrid_router.h) ---
+  // hybrid_eval (set by the "<dataset>_hybrid" name suffix) rotates queries
+  // through the four QueryTaskTypes (qid % 4) with per-type corpus
+  // constructions that decorrelate the dense and lexical backends: factual
+  // queries are won by exact rare-term matches (gold entities stay at tf 1,
+  // distractors recur), semantic queries by embedding mass (gold topics
+  // recur, distractors don't), temporal queries only by the time-bucket
+  // metadata filter (an off-bucket decoy outranks the gold chunk in BOTH
+  // text backends), and comparative queries by fusing the two lists. Stock
+  // profiles never enter these branches, so their generation streams are
+  // bit-identical to the pre-hybrid generator.
+  bool hybrid_eval = false;
+  // Typed chunk-attribute spaces (Chunk::source / time_bucket / section are
+  // assigned RNG-free for EVERY dataset; these only size the value spaces).
+  int num_sources = 4;
+  int num_time_buckets = 4;
   // Table-1 statistics.
   int min_output_tokens = 5;
   int max_output_tokens = 10;
@@ -113,7 +129,9 @@ const std::vector<DatasetProfile>& AllDatasetProfiles();
 // Resolves a profile by name. Besides the stock names, any "<dataset>_topical"
 // resolves to the base profile with the clustered embedding geometry
 // (topic_fraction = 0.85, as MusiqueTopicalProfile) — the
-// retrieval-depth-sensitive variants the mixed depth experiments run on.
+// retrieval-depth-sensitive variants the mixed depth experiments run on —
+// and any "<dataset>_hybrid" to the base profile with hybrid_eval set (the
+// task-type-rotated hybrid-retrieval workload bench_fig_hybrid runs on).
 DatasetProfile GetDatasetProfile(const std::string& name);
 
 // A generated dataset: retrieval DB + queries + fact registry.
